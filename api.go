@@ -1,0 +1,183 @@
+package flb
+
+import (
+	"io"
+	"math/rand"
+
+	"flb/internal/algo"
+	"flb/internal/algo/optimal"
+	"flb/internal/algo/refine"
+	"flb/internal/algo/registry"
+	"flb/internal/core"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+	"flb/internal/sim"
+	"flb/internal/workload"
+)
+
+// Core types, re-exported so users never import internal packages.
+type (
+	// Graph is a weighted task DAG; see NewGraph.
+	Graph = graph.Graph
+	// Task is a node of a Graph.
+	Task = graph.Task
+	// Edge is a dependence with a communication cost.
+	Edge = graph.Edge
+	// Schedule is a task-to-processor assignment with start/finish times.
+	Schedule = schedule.Schedule
+	// Metrics summarizes schedule quality (makespan, speedup, NSL inputs).
+	Metrics = schedule.Metrics
+	// System describes the target machine (processor count + comm model).
+	System = machine.System
+	// CommModel converts edge weights into message delays.
+	CommModel = machine.CommModel
+	// Clique is the paper's machine model: full cost between distinct
+	// processors, zero within one.
+	Clique = machine.Clique
+	// LatencyBandwidth is the extension model cost = L + w/B.
+	LatencyBandwidth = machine.LatencyBandwidth
+	// Algorithm is a pluggable scheduler; see NewAlgorithm.
+	Algorithm = algo.Algorithm
+	// Step is one iteration of an FLB execution trace (the paper's Table 1).
+	Step = core.Step
+	// Sampler draws random task/edge weights; see workload options.
+	Sampler = workload.Sampler
+)
+
+// FLB is the paper's scheduler, usable directly as an Algorithm.
+type FLB = core.FLB
+
+// NewGraph returns an empty task graph with the given name.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// ReadGraph parses a graph in the module's text format (see WriteText on
+// Graph for the syntax).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
+
+// ParseGraph parses a graph from a string in the text format.
+func ParseGraph(s string) (*Graph, error) { return graph.ParseText(s) }
+
+// ReadGraphSTG parses a graph in Standard Task Graph Set format (classic
+// or weighted; see internal/graph's STG documentation).
+func ReadGraphSTG(r io.Reader) (*Graph, error) { return graph.ReadSTG(r) }
+
+// NewSystem returns a P-processor homogeneous clique system, the paper's
+// machine model.
+func NewSystem(p int) System { return machine.NewSystem(p) }
+
+// Run schedules g on p processors with FLB (the paper's clique model).
+func Run(g *Graph, p int) (*Schedule, error) {
+	return core.FLB{}.Schedule(g, machine.NewSystem(p))
+}
+
+// RunOn schedules g with FLB on an explicit system (e.g. a custom
+// communication model).
+func RunOn(g *Graph, sys System) (*Schedule, error) {
+	return core.FLB{}.Schedule(g, sys)
+}
+
+// Trace runs FLB on g for p processors and returns the per-iteration
+// execution trace together with the schedule — the data of the paper's
+// Table 1. Render with FormatTrace.
+func Trace(g *Graph, p int) ([]Step, *Schedule, error) {
+	var steps []Step
+	s, err := core.Collect(&steps).Schedule(g, machine.NewSystem(p))
+	return steps, s, err
+}
+
+// FormatTrace renders an execution trace in the layout of the paper's
+// Table 1. names maps task IDs to labels; nil means t0, t1, ...
+func FormatTrace(steps []Step, names func(int) string) string {
+	return core.FormatTrace(steps, names)
+}
+
+// Algorithms returns the registered algorithm names: the paper's measured
+// set (mcp, etf, dsc-llb, fcp, flb) followed by the extension baselines.
+func Algorithms() []string { return registry.Names() }
+
+// NewAlgorithm constructs a scheduler by registry name (case-insensitive).
+// seed drives randomized tie-breaking where present (MCP).
+func NewAlgorithm(name string, seed int64) (Algorithm, error) {
+	return registry.New(name, seed)
+}
+
+// RunWith schedules g on p processors with the named algorithm.
+func RunWith(name string, g *Graph, p int, seed int64) (*Schedule, error) {
+	a, err := registry.New(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return a.Schedule(g, machine.NewSystem(p))
+}
+
+// SimResult is the outcome of a simulated self-timed execution of a
+// schedule; see Simulate.
+type SimResult = sim.Result
+
+// Simulate executes schedule s self-timed (placement and per-processor
+// order as scheduled; start times driven by actual completions and message
+// arrivals) with computation costs jittered by ±epsComp and communication
+// by ±epsComm (uniform factors, deterministic in seed). With both epsilons
+// zero it reproduces the schedule's own start times exactly. It quantifies
+// a compile-time schedule's robustness to cost misestimation.
+func Simulate(s *Schedule, epsComp, epsComm float64, seed int64) (*SimResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return sim.Run(s, sim.UniformJitter(rng, epsComp), sim.UniformJitter(rng, epsComm))
+}
+
+// Network selects a contention model for SimulateContended.
+type Network = sim.Network
+
+// Contention models: every remote message on one bus, per ordered
+// processor pair, or per sender port.
+const (
+	SharedBus = sim.SharedBus
+	PerLink   = sim.PerLink
+	PerPort   = sim.PerPort
+)
+
+// SimulateContended executes schedule s self-timed with exact costs but
+// remote messages serialized FCFS on the chosen network resource — the
+// contention the paper's machine model abstracts away (§2). The result's
+// makespan is never below the schedule's planned one.
+func SimulateContended(s *Schedule, net Network) (*SimResult, error) {
+	return sim.RunContended(s, net)
+}
+
+// Refine hill-climbs on a complete schedule's processor assignment
+// (internal/algo/refine) and returns an equal-or-better schedule.
+// maxMoves bounds the accepted moves; 0 picks a default.
+func Refine(s *Schedule, maxMoves int) (*Schedule, error) {
+	return refine.Refine(s, maxMoves)
+}
+
+// OptimalResult is the outcome of an exact branch-and-bound search; see
+// Optimal.
+type OptimalResult = optimal.Result
+
+// Optimal computes a provably minimum-makespan schedule of g on p
+// processors by branch and bound. Exponential — intended for tiny graphs
+// (V up to ~12); maxNodes bounds the search (0 picks a default), and the
+// result reports whether optimality was proven within it.
+func Optimal(g *Graph, p int, maxNodes int) (*OptimalResult, error) {
+	return optimal.Solve(g, machine.NewSystem(p), maxNodes)
+}
+
+// Workload generators of the paper's evaluation (§6), re-exported.
+var (
+	// PaperExample returns the Fig. 1 example graph.
+	PaperExample = workload.PaperExample
+	// LU returns the LU-decomposition task graph for an n x n matrix.
+	LU = workload.LU
+	// Laplace returns the n x n Laplace solver wavefront graph.
+	Laplace = workload.Laplace
+	// Stencil returns the width x steps stencil graph.
+	Stencil = workload.Stencil
+	// FFT returns the n-point FFT butterfly graph (n a power of two).
+	FFT = workload.FFT
+	// WorkloadInstance generates a randomized experiment instance:
+	// family name, approximate task count, CCR, sampler (nil = uniform on
+	// [0, 2µ]) and seed.
+	WorkloadInstance = workload.Instance
+)

@@ -1,0 +1,237 @@
+// Command flbbench regenerates the tables and figures of the paper's
+// evaluation (§5, §6): Table 1 (the FLB execution trace), Fig. 2
+// (scheduling cost vs P), Fig. 3 (FLB speedup) and Fig. 4 (normalized
+// schedule lengths vs MCP), plus a complexity-scaling sweep.
+//
+// Usage:
+//
+//	flbbench -exp all                 # the paper's full setup (V≈2000, 5 seeds)
+//	flbbench -exp fig4 -quick         # scaled-down smoke run
+//	flbbench -exp fig2 -csv           # machine-readable output
+//	flbbench -exp fig3 -v 1000 -seeds 3 -procs 2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"flb/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flbbench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, ablation, ccr, contention, optimality, or all")
+		quick    = fs.Bool("quick", false, "scaled-down configuration (V≈200, 2 seeds)")
+		targetV  = fs.Int("v", 0, "override the approximate task count (default 2000)")
+		seeds    = fs.Int("seeds", 0, "override instances per (family, CCR) (default 5)")
+		procsArg = fs.String("procs", "", "override processor counts, comma-separated (default 2,4,8,16,32)")
+		families = fs.String("families", "", "override families, comma-separated (default lu,laplace,stencil)")
+		seed     = fs.Int64("seed", 1, "base seed for instance generation and tie-breaking")
+		csv      = fs.Bool("csv", false, "emit CSV instead of formatted tables")
+		par      = fs.Bool("parallel", false, "run quality experiments on all CPUs (identical results)")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	cfg.BaseSeed = *seed
+	cfg.Parallel = *par
+	if *targetV > 0 {
+		cfg.TargetV = *targetV
+	}
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *procsArg != "" {
+		ps, err := parseInts(*procsArg)
+		if err != nil {
+			return fmt.Errorf("-procs: %w", err)
+		}
+		cfg.Procs = ps
+	}
+	if *families != "" {
+		cfg.Families = strings.Split(*families, ",")
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		r, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Format())
+	}
+	if want("fig2") {
+		ran = true
+		r, err := bench.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprintln(stdout, r.Format())
+		}
+	}
+	if want("fig3") {
+		ran = true
+		r, err := bench.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprintln(stdout, r.Format())
+		}
+	}
+	if want("fig4") {
+		ran = true
+		r, err := bench.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprintln(stdout, r.Format())
+		}
+	}
+	if want("robust") {
+		ran = true
+		rcfg := cfg
+		if *exp == "all" && !*quick {
+			// The robustness sweep multiplies the matrix by jitter levels
+			// and simulation draws; a reduced seed count keeps "all" fast.
+			rcfg.Seeds = 2
+		}
+		r, err := bench.Robust(rcfg, 8, nil, 0)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprintln(stdout, r.Format())
+		}
+	}
+	if want("ablation") {
+		ran = true
+		// NSL comparison (Fig. 4 machinery) across FLB's tie-breaking
+		// ablations and the extension baselines, normalized to MCP.
+		acfg := cfg
+		acfg.Algorithms = []string{"mcp", "flb", "flb-nobl", "flb-eptie", "flb-ls", "hlfet", "dls", "dsh", "dsc-llb", "ez-llb", "lc-llb"}
+		if *exp == "all" && !*quick {
+			acfg.Seeds = 2
+			acfg.TargetV = 500 // EZ re-evaluates per edge; keep "all" fast
+		}
+		r, err := bench.Fig4(acfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprintln(stdout, "Ablation — NSL vs MCP for FLB tie-breaking variants and extension baselines")
+			fmt.Fprintln(stdout, r.Format())
+		}
+	}
+	if want("ccr") {
+		ran = true
+		ccfg := cfg
+		if *exp == "all" && !*quick {
+			ccfg.Seeds = 2
+		}
+		r, err := bench.CCRSweep(ccfg, nil, 16)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprintln(stdout, r.Format())
+		}
+	}
+	if want("contention") {
+		ran = true
+		ncfg := cfg
+		if *exp == "all" && !*quick {
+			ncfg.Seeds = 2
+		}
+		r, err := bench.Contention(ncfg, 8)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprintln(stdout, r.Format())
+		}
+	}
+	if want("optimality") {
+		ran = true
+		instances := 25
+		if *quick {
+			instances = 8
+		}
+		algs := []string{"mcp", "etf", "dsc-llb", "fcp", "flb", "flb-ls", "hlfet", "dls"}
+		r, err := bench.Optimality(instances, 9, 3, algs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Format())
+	}
+	if want("scaling") {
+		ran = true
+		sizes := []int{250, 500, 1000, 2000}
+		reps := 3
+		if *quick {
+			sizes = []int{100, 200, 400}
+			reps = 1
+		}
+		r, err := bench.Scaling(nil, sizes, 8, reps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Format())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, ablation, ccr, contention, optimality, or all)", *exp)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("processor count %d < 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

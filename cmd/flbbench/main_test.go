@@ -1,0 +1,165 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, &out)
+	return out.String(), err
+}
+
+// smoke are the fast flags shared by all experiment tests.
+var smoke = []string{"-v", "60", "-seeds", "1", "-procs", "2,4", "-families", "lu"}
+
+func TestTable1(t *testing.T) {
+	out, err := benchCLI(t, "-exp", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t7 -> p0 [12-14]") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	out, err := benchCLI(t, append([]string{"-exp", "fig2"}, smoke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 2") || !strings.Contains(out, "FLB") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFig2CSV(t *testing.T) {
+	out, err := benchCLI(t, append([]string{"-exp", "fig2", "-csv"}, smoke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "algorithm,procs,") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	out, err := benchCLI(t, append([]string{"-exp", "fig3"}, smoke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "P=1") || !strings.Contains(out, "fft") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	out, err := benchCLI(t, append([]string{"-exp", "fig4"}, smoke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DSC-LLB") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFig4CSVQuick(t *testing.T) {
+	out, err := benchCLI(t, "-exp", "fig4", "-csv", "-quick", "-v", "50", "-seeds", "1",
+		"-procs", "2", "-families", "stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "family,ccr,procs,algorithm") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestScalingQuick(t *testing.T) {
+	out, err := benchCLI(t, "-exp", "scaling", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Scaling") || !strings.Contains(out, "growth") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := benchCLI(t, "-exp", "fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := benchCLI(t, "-procs", "2,x"); err == nil {
+		t.Error("bad -procs accepted")
+	}
+	if _, err := benchCLI(t, "-procs", "0"); err == nil {
+		t.Error("-procs 0 accepted")
+	}
+	if _, err := benchCLI(t, "-exp", "fig2", "-families", "bogus", "-v", "50", "-seeds", "1"); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := benchCLI(t, "-no-such-flag"); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("2, 4,8")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+}
+
+func TestRobustExperiment(t *testing.T) {
+	out, err := benchCLI(t, append([]string{"-exp", "robust"}, smoke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Robustness") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestAblationExperiment(t *testing.T) {
+	out, err := benchCLI(t, "-exp", "ablation", "-v", "50", "-seeds", "1",
+		"-procs", "2", "-families", "stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ablation", "FLB-nobl", "EZ-LLB", "LC-LLB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCCRExperiment(t *testing.T) {
+	out, err := benchCLI(t, "-exp", "ccr", "-v", "50", "-seeds", "1", "-families", "stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CCR sweep") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestContentionExperiment(t *testing.T) {
+	out, err := benchCLI(t, append([]string{"-exp", "contention"}, smoke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shared-bus") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestOptimalityExperiment(t *testing.T) {
+	out, err := benchCLI(t, "-exp", "optimality", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Optimality") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,87 @@
+// Command flbgen generates workload task graphs — the paper's evaluation
+// families (LU, Laplace, Stencil, FFT) with randomized weights and a
+// chosen communication-to-computation ratio — in the module's text format,
+// or exports a graph as Graphviz DOT.
+//
+// Usage:
+//
+//	flbgen -family lu -v 2000 -ccr 0.2 -seed 1 > lu.tg
+//	flbgen -family stencil -v 500 -ccr 5 -o stencil.tg
+//	flbgen -family fig1 -dot > fig1.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flb"
+	"flb/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flbgen", flag.ContinueOnError)
+	var (
+		family  = fs.String("family", "lu", "workload family: lu, laplace, stencil, fft, or fig1 (the paper example)")
+		targetV = fs.Int("v", 2000, "approximate number of tasks")
+		ccr     = fs.Float64("ccr", 1.0, "communication-to-computation ratio (ignored for fig1)")
+		seed    = fs.Int64("seed", 1, "random seed for weights")
+		expo    = fs.Bool("exponential", false, "use exponential weights (true unit CV) instead of uniform [0, 2u]")
+		unit    = fs.Bool("unit", false, "keep unit weights (no randomization; -ccr still rescales communication)")
+		out     = fs.String("o", "", "output file (default stdout)")
+		dot     = fs.Bool("dot", false, "emit Graphviz DOT instead of the text format")
+		stg     = fs.Bool("stg", false, "emit weighted STG instead of the text format")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *flb.Graph
+	if *family == "fig1" {
+		g = flb.PaperExample()
+	} else if *unit {
+		fam, err := workload.FamilyByName(*family)
+		if err != nil {
+			return err
+		}
+		g = fam.Generate(*targetV)
+		g.SetCCR(*ccr)
+	} else {
+		var sampler flb.Sampler
+		if *expo {
+			sampler = workload.Exponential{}
+		}
+		var err error
+		if g, err = flb.WorkloadInstance(*family, *targetV, *ccr, sampler, *seed); err != nil {
+			return err
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case *dot && *stg:
+		return fmt.Errorf("-dot and -stg are mutually exclusive")
+	case *dot:
+		return g.WriteDOT(w)
+	case *stg:
+		return g.WriteSTG(w)
+	}
+	return g.WriteText(w)
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flb"
+)
+
+func gen(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestGenerateLU(t *testing.T) {
+	out, err := gen(t, "-family", "lu", "-v", "100", "-ccr", "0.2", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := flb.ParseGraph(out)
+	if err != nil {
+		t.Fatalf("generated text does not parse: %v\n%s", err, out)
+	}
+	if g.NumTasks() < 100 {
+		t.Errorf("tasks = %d, want >= 100", g.NumTasks())
+	}
+	if ccr := g.CCR(); ccr < 0.19 || ccr > 0.21 {
+		t.Errorf("CCR = %v, want ~0.2", ccr)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := gen(t, "-family", "stencil", "-v", "80", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen(t, "-family", "stencil", "-v", "80", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed, different output")
+	}
+	c, _ := gen(t, "-family", "stencil", "-v", "80", "-seed", "6")
+	if a == c {
+		t.Error("different seed, same output")
+	}
+}
+
+func TestGenerateFig1(t *testing.T) {
+	out, err := gen(t, "-family", "fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := flb.ParseGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 8 || g.NumEdges() != 12 {
+		t.Errorf("fig1 = %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+}
+
+func TestGenerateUnit(t *testing.T) {
+	out, err := gen(t, "-family", "laplace", "-v", "49", "-unit", "-ccr", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := flb.ParseGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit weights: every comp is exactly 1; comm rescaled to CCR 2.
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.Comp(i) != 1 {
+			t.Fatalf("comp(%d) = %v, want 1", i, g.Comp(i))
+		}
+	}
+	if ccr := g.CCR(); ccr < 1.99 || ccr > 2.01 {
+		t.Errorf("CCR = %v, want 2", ccr)
+	}
+}
+
+func TestGenerateExponential(t *testing.T) {
+	out, err := gen(t, "-family", "fft", "-v", "64", "-exponential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flb.ParseGraph(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDOT(t *testing.T) {
+	out, err := gen(t, "-family", "fig1", "-dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "->") {
+		t.Errorf("not DOT:\n%s", out)
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.tg")
+	if _, err := gen(t, "-family", "lu", "-v", "30", "-o", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flb.ParseGraph(string(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := gen(t, "-family", "bogus"); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := gen(t, "-family", "bogus", "-unit"); err == nil {
+		t.Error("unknown family accepted with -unit")
+	}
+	if _, err := gen(t, "-o", "/nonexistent/dir/x.tg"); err == nil {
+		t.Error("unwritable output accepted")
+	}
+	if _, err := gen(t, "-bad-flag"); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestGenerateSTG(t *testing.T) {
+	out, err := gen(t, "-family", "fig1", "-stg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := flb.ReadGraphSTG(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("STG output does not parse: %v\n%s", err, out)
+	}
+	if g.NumTasks() != 8 || g.NumEdges() != 12 {
+		t.Errorf("fig1 STG = %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if _, err := gen(t, "-family", "fig1", "-stg", "-dot"); err == nil {
+		t.Error("-stg -dot accepted together")
+	}
+}

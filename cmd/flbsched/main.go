@@ -1,0 +1,167 @@
+// Command flbsched schedules a task graph (in the module's text format)
+// onto P processors with any of the implemented algorithms and reports the
+// schedule, metrics, a Gantt chart or — for FLB — the paper-style
+// execution trace.
+//
+// Usage:
+//
+//	flbsched -graph lu.tg -procs 8 -algo flb -gantt
+//	flbsched -graph - -algo mcp -seed 3 -metrics      # graph on stdin
+//	flbsched -graph fig1.tg -procs 2 -trace            # Table 1 layout
+//	flbsched -demo -procs 2 -trace                     # built-in Fig. 1 graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"flb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flbsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flbsched", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "task graph file ('-' for stdin)")
+		format    = fs.String("format", "", "input format: text or stg (default: by extension, .stg = STG)")
+		demo      = fs.Bool("demo", false, "use the paper's Fig. 1 example graph")
+		algoName  = fs.String("algo", "flb", "scheduling algorithm (see -list)")
+		procs     = fs.Int("procs", 2, "number of processors")
+		seed      = fs.Int64("seed", 1, "seed for randomized tie-breaking (mcp)")
+		gantt     = fs.Bool("gantt", false, "print an ASCII Gantt chart")
+		width     = fs.Int("width", 80, "Gantt chart width in characters")
+		tbl       = fs.Bool("table", false, "print the per-task schedule table")
+		metrics   = fs.Bool("metrics", true, "print schedule metrics")
+		trace     = fs.Bool("trace", false, "print the FLB execution trace (flb only)")
+		list      = fs.Bool("list", false, "list available algorithms and exit")
+		stats     = fs.Bool("stats", false, "print task-graph statistics (width, granularity, parallelism)")
+		jsonOut   = fs.String("json", "", "write the schedule as JSON to this file ('-' for stdout)")
+		jitter    = fs.Float64("jitter", -1, "also simulate execution with +/- this cost jitter (0..1)")
+		svgOut    = fs.String("svg", "", "write an SVG Gantt chart to this file")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range flb.Algorithms() {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+
+	read := flb.ReadGraph
+	switch {
+	case *format == "stg" || (*format == "" && strings.HasSuffix(*graphPath, ".stg")):
+		read = flb.ReadGraphSTG
+	case *format != "" && *format != "text":
+		return fmt.Errorf("unknown -format %q (want text or stg)", *format)
+	}
+	var g *flb.Graph
+	switch {
+	case *demo:
+		g = flb.PaperExample()
+	case *graphPath == "":
+		return fmt.Errorf("missing -graph (or use -demo); run with -h for usage")
+	case *graphPath == "-":
+		var err error
+		if g, err = read(stdin); err != nil {
+			return err
+		}
+	default:
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if g, err = read(f); err != nil {
+			return err
+		}
+	}
+
+	var s *flb.Schedule
+	if *trace {
+		steps, sched, err := flb.Trace(g, *procs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, flb.FormatTrace(steps, func(id int) string { return g.Task(id).Name }))
+		s = sched
+	} else {
+		var err error
+		if s, err = flb.RunWith(*algoName, g, *procs, *seed); err != nil {
+			return err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("internal error: produced schedule is invalid: %w", err)
+	}
+
+	if *metrics {
+		m := s.ComputeMetrics()
+		fmt.Fprintf(stdout, "algorithm   %s\ngraph       %s (V=%d, E=%d, CCR=%.3g, W=%d)\nprocessors  %d\nmakespan    %g\nspeedup     %.3f\nefficiency  %.3f\nSLR         %.3f\n",
+			m.Algorithm, g.Name, g.NumTasks(), g.NumEdges(), g.CCR(), g.Width(), m.Procs,
+			m.Makespan, m.Speedup, m.Efficiency, m.SLR)
+	}
+	if *tbl {
+		fmt.Fprint(stdout, s.Table())
+	}
+	if *gantt {
+		fmt.Fprint(stdout, s.Gantt(*width))
+	}
+	if *jitter >= 0 {
+		if *jitter > 1 {
+			return fmt.Errorf("-jitter %g out of range [0, 1]", *jitter)
+		}
+		exact, err := flb.Simulate(s, 0, 0, *seed)
+		if err != nil {
+			return err
+		}
+		jit, err := flb.Simulate(s, *jitter, *jitter, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "simulated   exact %g, with +/-%g%% jitter %g (%.1f%% over planned)\n",
+			exact.Makespan, *jitter*100, jit.Makespan, (jit.Makespan/s.Makespan()-1)*100)
+	}
+	if *stats {
+		fmt.Fprint(stdout, g.ComputeStats(g.NumTasks() <= 5000).String())
+	}
+	if *jsonOut != "" {
+		if *jsonOut == "-" {
+			if err := s.WriteJSON(stdout); err != nil {
+				return err
+			}
+		} else if err := writeFile(*jsonOut, s.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if *svgOut != "" {
+		if err := writeFile(*svgOut, func(w io.Writer) error { return s.WriteSVG(w, 900) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, strings.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+func TestDemoTrace(t *testing.T) {
+	out, err := runCLI(t, "", "-demo", "-procs", "2", "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"t3[2;12/3]", "t7 -> p0 [12-14]", "makespan", "14",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStdinGraph(t *testing.T) {
+	src := "graph pair\ntask 0 2\ntask 1 3\nedge 0 1 1\n"
+	out, err := runCLI(t, src, "-graph", "-", "-algo", "mcp", "-procs", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "algorithm   MCP") || !strings.Contains(out, "makespan    5") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tg")
+	src := "task 0 1\ntask 1 1\nedge 0 1 4\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "", "-graph", path, "-algo", "flb", "-procs", "4", "-gantt", "-table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "t1") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestListAlgorithms(t *testing.T) {
+	out, err := runCLI(t, "", "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flb", "etf", "mcp", "fcp", "dsc-llb", "dls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in list:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                 // no graph
+		{"-graph", "/nonexistent/file.tg"}, // missing file
+		{"-demo", "-algo", "bogus"},        // unknown algorithm
+		{"-demo", "-procs", "0"},           // invalid system
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, "", args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// Malformed stdin graph.
+	if _, err := runCLI(t, "task x y\n", "-graph", "-"); err == nil {
+		t.Error("malformed graph accepted")
+	}
+	// Cyclic stdin graph.
+	cyc := "task 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n"
+	if _, err := runCLI(t, cyc, "-graph", "-"); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, err := runCLI(t, "", "-definitely-not-a-flag"); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestStatsJSONAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "s.json")
+	svgPath := filepath.Join(dir, "s.svg")
+	out, err := runCLI(t, "", "-demo", "-procs", "2", "-stats",
+		"-json", jsonPath, "-svg", svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "width 3") || !strings.Contains(out, "granularity") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+	js, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), "\"makespan\": 14") {
+		t.Errorf("JSON:\n%s", js)
+	}
+	svg, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Errorf("SVG:\n%.80s", svg)
+	}
+	// JSON to stdout.
+	out, err = runCLI(t, "", "-demo", "-metrics=false", "-json", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(out), "{") {
+		t.Errorf("stdout JSON:\n%s", out)
+	}
+	// Unwritable paths error.
+	if _, err := runCLI(t, "", "-demo", "-json", "/nonexistent/x.json"); err == nil {
+		t.Error("unwritable json path accepted")
+	}
+	if _, err := runCLI(t, "", "-demo", "-svg", "/nonexistent/x.svg"); err == nil {
+		t.Error("unwritable svg path accepted")
+	}
+}
+
+func TestSTGInput(t *testing.T) {
+	// Weighted STG on stdin via -format.
+	src := "2\n0 2 0\n1 3 1 0 1\n"
+	out, err := runCLI(t, src, "-graph", "-", "-format", "stg", "-procs", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "makespan    5") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Auto-detection by .stg extension.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.stg")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCLI(t, "", "-graph", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "V=2") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Unknown format rejected.
+	if _, err := runCLI(t, src, "-graph", "-", "-format", "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestJitterSimulation(t *testing.T) {
+	out, err := runCLI(t, "", "-demo", "-procs", "2", "-metrics=false", "-jitter", "0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "simulated   exact 14") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Out-of-range jitter is rejected before it reaches the simulator.
+	if _, err := runCLI(t, "", "-demo", "-jitter", "1.5"); err == nil {
+		t.Error("jitter > 1 accepted")
+	}
+}

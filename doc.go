@@ -1,0 +1,33 @@
+// Package flb is a Go reproduction of "FLB: Fast Load Balancing for
+// Distributed-Memory Machines" (Rădulescu & van Gemund, ICPP 1999): a
+// compile-time list scheduler for task graphs with communication costs on
+// a bounded set of homogeneous processors, scheduling at every iteration
+// the ready task that can start the earliest — ETF's criterion — in
+// O(V(log W + log P) + E) time instead of ETF's O(W(E+V)P).
+//
+// The package is a facade over the full implementation:
+//
+//   - FLB itself (internal/core), with optional per-iteration tracing that
+//     reproduces the paper's Table 1;
+//   - the paper's comparison algorithms: ETF, MCP (both tie-breaking
+//     variants and an insertion option), FCP, DSC-LLB, plus DLS;
+//   - the task-graph model with level metrics, exact width (Dilworth),
+//     text/DOT serialization (internal/graph);
+//   - the workload generators of the paper's evaluation: LU, Laplace,
+//     Stencil, FFT, plus random and structured families
+//     (internal/workload);
+//   - the experiment harness regenerating Figs. 2-4 and Table 1
+//     (internal/bench, driven by cmd/flbbench).
+//
+// # Quick start
+//
+//	g := flb.NewGraph("demo")
+//	a := g.AddTask(2)
+//	b := g.AddTask(3)
+//	g.AddEdge(a, b, 1)
+//	s, err := flb.Run(g, 4) // FLB on 4 processors
+//	if err != nil { ... }
+//	fmt.Println(s.Makespan(), s.Gantt(60))
+//
+// See the runnable programs under examples/ and the CLI tools under cmd/.
+package flb

@@ -1,0 +1,91 @@
+package flb_test
+
+import (
+	"fmt"
+
+	"flb"
+)
+
+// ExampleRun schedules a four-task diamond with FLB on two processors.
+func ExampleRun() {
+	g := flb.NewGraph("diamond")
+	a := g.AddNamedTask("a", 2)
+	b := g.AddNamedTask("b", 3)
+	c := g.AddNamedTask("c", 3)
+	d := g.AddNamedTask("d", 2)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, c, 1)
+	g.AddEdge(b, d, 1)
+	g.AddEdge(c, d, 1)
+
+	s, err := flb.Run(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("makespan %g\n", s.Makespan())
+	fmt.Printf("a on p%d at %g\n", s.Proc(a), s.Start(a))
+	// Output:
+	// makespan 8
+	// a on p0 at 0
+}
+
+// ExampleTrace reproduces the first and last rows of the paper's Table 1.
+func ExampleTrace() {
+	steps, s, err := flb.Trace(flb.PaperExample(), 2)
+	if err != nil {
+		panic(err)
+	}
+	first, last := steps[0], steps[len(steps)-1]
+	fmt.Printf("step 0: t%d -> p%d at %g\n", first.Task, first.Proc, first.Start)
+	fmt.Printf("step %d: t%d -> p%d at %g\n", last.Iter, last.Task, last.Proc, last.Start)
+	fmt.Printf("makespan %g\n", s.Makespan())
+	// Output:
+	// step 0: t0 -> p0 at 0
+	// step 7: t7 -> p0 at 12
+	// makespan 14
+}
+
+// ExampleRunWith compares FLB against the paper's baselines by name.
+func ExampleRunWith() {
+	g := flb.PaperExample()
+	for _, name := range []string{"flb", "etf", "mcp"} {
+		s, err := flb.RunWith(name, g, 2, 1)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %g\n", s.Algorithm, s.Makespan())
+	}
+	// Output:
+	// FLB: 14
+	// ETF: 14
+	// MCP: 14
+}
+
+// ExampleParseGraph reads the text format.
+func ExampleParseGraph() {
+	g, err := flb.ParseGraph(`
+graph pair
+task 0 2 producer
+task 1 3 consumer
+edge 0 1 1
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.Name, g.NumTasks(), g.NumEdges(), g.CriticalPath())
+	// Output:
+	// pair 2 1 6
+}
+
+// ExampleSimulate executes a schedule with exact runtime costs.
+func ExampleSimulate() {
+	g := flb.PaperExample()
+	s, _ := flb.Run(g, 2)
+	r, err := flb.Simulate(s, 0, 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("planned %g, actual %g\n", s.Makespan(), r.Makespan)
+	// Output:
+	// planned 14, actual 14
+}

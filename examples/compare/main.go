@@ -1,0 +1,62 @@
+// Compare: run every implemented scheduling algorithm on randomized
+// instances of the paper's three evaluation problems (LU decomposition,
+// Laplace solver, stencil) and print makespans, normalized schedule
+// lengths against MCP, and scheduling times — a miniature of the paper's
+// Fig. 2 and Fig. 4.
+//
+// Run with: go run ./examples/compare [-v 500] [-procs 8] [-ccr 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"flb"
+)
+
+func main() {
+	targetV := flag.Int("v", 500, "approximate task count per instance")
+	procs := flag.Int("procs", 8, "number of processors")
+	ccr := flag.Float64("ccr", 1.0, "communication-to-computation ratio")
+	seed := flag.Int64("seed", 1, "instance seed")
+	flag.Parse()
+
+	for _, family := range []string{"lu", "laplace", "stencil"} {
+		g, err := flb.WorkloadInstance(family, *targetV, *ccr, nil, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: V=%d E=%d CCR=%.2g width=%d, P=%d\n",
+			family, g.NumTasks(), g.NumEdges(), g.CCR(), g.LayerWidth(), *procs)
+
+		// MCP is the paper's normalization reference for Fig. 4.
+		ref, err := flb.RunWith("mcp", g, *procs, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refMk := ref.Makespan()
+
+		fmt.Printf("  %-10s %10s %8s %8s %10s\n", "algorithm", "makespan", "NSL", "speedup", "sched time")
+		for _, name := range flb.Algorithms() {
+			a, err := flb.NewAlgorithm(name, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			s, err := a.Schedule(g, flb.NewSystem(*procs))
+			elapsed := time.Since(start)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				log.Fatalf("%s produced an invalid schedule: %v", name, err)
+			}
+			m := s.ComputeMetrics()
+			fmt.Printf("  %-10s %10.1f %8.3f %8.2f %10s\n",
+				s.Algorithm, m.Makespan, m.Makespan/refMk, m.Speedup, elapsed.Round(10*time.Microsecond))
+		}
+		fmt.Println()
+	}
+}

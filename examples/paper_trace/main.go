@@ -1,0 +1,33 @@
+// Paper trace: reproduce §5 of the paper — the Fig. 1 example graph
+// scheduled by FLB on two processors — and print the execution trace in
+// the layout of the paper's Table 1, followed by the final schedule.
+//
+// Run with: go run ./examples/paper_trace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flb"
+)
+
+func main() {
+	g := flb.PaperExample()
+	fmt.Println("Fig. 1 example graph:")
+	fmt.Print(g.TextString())
+	fmt.Println()
+
+	steps, s, err := flb.Trace(g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Table 1 — execution trace of the FLB algorithm")
+	fmt.Println("(cells: task[EMT;BL/LMT] for EP tasks, task[LMT] for non-EP tasks)")
+	fmt.Println()
+	fmt.Print(flb.FormatTrace(steps, func(id int) string { return g.Task(id).Name }))
+
+	fmt.Printf("\nfinal schedule, makespan %g (paper: 14):\n\n", s.Makespan())
+	fmt.Print(s.Gantt(70))
+}

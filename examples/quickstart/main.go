@@ -1,0 +1,51 @@
+// Quickstart: build a small task graph with the public API, schedule it
+// with FLB on two processors, and print the schedule, a Gantt chart and
+// the quality metrics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flb"
+)
+
+func main() {
+	// A small image-processing pipeline: load, two parallel filters, then
+	// a blend that needs both filter outputs, then encode.
+	g := flb.NewGraph("image-pipeline")
+	load := g.AddNamedTask("load", 2)
+	blur := g.AddNamedTask("blur", 4)
+	edge := g.AddNamedTask("edge", 5)
+	blend := g.AddNamedTask("blend", 3)
+	encode := g.AddNamedTask("encode", 2)
+	g.AddEdge(load, blur, 1) // the image is shipped to each filter
+	g.AddEdge(load, edge, 1)
+	g.AddEdge(blur, blend, 2) // filter outputs feed the blend
+	g.AddEdge(edge, blend, 2)
+	g.AddEdge(blend, encode, 1)
+
+	s, err := flb.Run(g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(s.Table())
+	fmt.Println(s.Gantt(64))
+	m := s.ComputeMetrics()
+	fmt.Printf("makespan %g, speedup %.2f, efficiency %.2f\n",
+		m.Makespan, m.Speedup, m.Efficiency)
+
+	// The same graph on one processor, for reference: speedup denominator.
+	s1, err := flb.Run(g, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential time %g => parallel gain %.2fx\n",
+		s1.Makespan(), s1.Makespan()/s.Makespan())
+}

@@ -1,0 +1,3 @@
+module flb
+
+go 1.22

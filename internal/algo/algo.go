@@ -1,0 +1,99 @@
+// Package algo defines the common contract of the scheduling algorithms in
+// this module and the machinery they share: input validation and ready-set
+// tracking. The implementations live in internal/core (FLB, the paper's
+// contribution) and the subpackages of this directory (the baselines the
+// paper compares against); the name-based registry is in
+// internal/algo/registry.
+package algo
+
+import (
+	"errors"
+	"fmt"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+// Algorithm is a compile-time task scheduler for a bounded number of
+// processors. Implementations must be deterministic for a fixed
+// configuration (randomized tie-breaking takes an explicit seed) and must
+// produce schedules that pass (*schedule.Schedule).Validate.
+type Algorithm interface {
+	// Name returns the algorithm's display name (e.g. "FLB", "ETF").
+	Name() string
+	// Schedule maps every task of g onto sys and returns the schedule.
+	Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error)
+}
+
+// ErrNoTasks is returned when scheduling an empty graph. An empty schedule
+// would be trivially valid, but every algorithm in the paper assumes at
+// least one entry task; returning an explicit error keeps harness mistakes
+// (an accidentally empty workload) visible.
+var ErrNoTasks = errors.New("algo: task graph has no tasks")
+
+// CheckInputs validates a scheduling request: a structurally valid DAG and
+// a sane system. All algorithms call it first.
+func CheckInputs(g *graph.Graph, sys machine.System) error {
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	if g.NumTasks() == 0 {
+		return ErrNoTasks
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("algo: invalid task graph: %w", err)
+	}
+	return nil
+}
+
+// ReadyTracker tracks which tasks are ready (all parents scheduled) during
+// list scheduling. It is shared by every algorithm in the module.
+type ReadyTracker struct {
+	g       *graph.Graph
+	pending []int // unscheduled predecessor count per task
+}
+
+// NewReadyTracker returns a tracker for g. Initial returns the entry tasks.
+func NewReadyTracker(g *graph.Graph) *ReadyTracker {
+	rt := &ReadyTracker{g: g, pending: make([]int, g.NumTasks())}
+	for t := 0; t < g.NumTasks(); t++ {
+		rt.pending[t] = g.InDegree(t)
+	}
+	return rt
+}
+
+// Initial returns the initially ready (entry) tasks in increasing ID order.
+func (rt *ReadyTracker) Initial() []int { return rt.g.EntryTasks() }
+
+// Complete marks t as scheduled and returns the tasks that become ready as
+// a consequence, in successor-edge order.
+func (rt *ReadyTracker) Complete(t int) []int {
+	var newly []int
+	for _, ei := range rt.g.SuccEdges(t) {
+		to := rt.g.Edge(ei).To
+		rt.pending[to]--
+		if rt.pending[to] == 0 {
+			newly = append(newly, to)
+		}
+		if rt.pending[to] < 0 {
+			panic(fmt.Sprintf("algo: task %d completed more times than it has predecessors", to))
+		}
+	}
+	return newly
+}
+
+// BestProcessor returns the processor on which ready task t starts the
+// earliest when appended after the processor's last task, together with
+// that start time. Ties break toward the smaller processor index. This is
+// the O(P) inner step of the classic list schedulers (MCP, ETF, DLS); FLB's
+// entire point is avoiding this scan.
+func BestProcessor(s *schedule.Schedule, t int) (machine.Proc, float64) {
+	bestP, bestEST := 0, s.EST(t, 0)
+	for p := 1; p < s.NumProcs(); p++ {
+		if est := s.EST(t, p); est < bestEST {
+			bestP, bestEST = p, est
+		}
+	}
+	return bestP, bestEST
+}

@@ -1,0 +1,108 @@
+package algo
+
+import (
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+	"flb/internal/workload"
+)
+
+func TestCheckInputs(t *testing.T) {
+	g := workload.PaperExample()
+	if err := CheckInputs(g, machine.NewSystem(2)); err != nil {
+		t.Fatalf("valid inputs rejected: %v", err)
+	}
+	if err := CheckInputs(g, machine.System{P: 0}); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if err := CheckInputs(graph.New("empty"), machine.NewSystem(1)); err != ErrNoTasks {
+		t.Errorf("empty graph: err = %v, want ErrNoTasks", err)
+	}
+	cyc := graph.New("cyc")
+	a, b := cyc.AddTask(1), cyc.AddTask(1)
+	cyc.AddEdge(a, b, 1)
+	cyc.AddEdge(b, a, 1)
+	if err := CheckInputs(cyc, machine.NewSystem(1)); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestReadyTracker(t *testing.T) {
+	g := workload.PaperExample()
+	rt := NewReadyTracker(g)
+	if got := rt.Initial(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Initial = %v", got)
+	}
+	// Completing t0 readies t1, t2, t3, t4 has another pred (t1) pending.
+	got := rt.Complete(0)
+	want := map[int]bool{1: true, 2: true, 3: true}
+	if len(got) != 3 {
+		t.Fatalf("after t0, ready = %v", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("after t0, ready = %v", got)
+		}
+	}
+	// t4 needs both t0 and t1.
+	if got := rt.Complete(1); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("after t1, ready = %v", got)
+	}
+	// t5 needs t1 (done) and t3.
+	if got := rt.Complete(3); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("after t3, ready = %v", got)
+	}
+	// t6 needs t1 (done) and t2.
+	if got := rt.Complete(2); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("after t2, ready = %v", got)
+	}
+	if got := rt.Complete(4); len(got) != 0 {
+		t.Fatalf("after t4, ready = %v (t7 needs t5, t6 too)", got)
+	}
+	if got := rt.Complete(5); len(got) != 0 {
+		t.Fatalf("after t5, ready = %v", got)
+	}
+	if got := rt.Complete(6); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("after t6, ready = %v", got)
+	}
+}
+
+func TestReadyTrackerOverCompletePanics(t *testing.T) {
+	g := graph.New("pair")
+	a, b := g.AddTask(1), g.AddTask(1)
+	g.AddEdge(a, b, 1)
+	rt := NewReadyTracker(g)
+	rt.Complete(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Complete did not panic")
+		}
+	}()
+	rt.Complete(a)
+}
+
+func TestBestProcessor(t *testing.T) {
+	g := workload.PaperExample()
+	s := schedule.New(g, machine.NewSystem(2))
+	s.Place(0, 0, 0)
+	// t2 (comm 4 from t0): EST 2 on p0, 6 on p1 -> p0.
+	if p, est := BestProcessor(s, 2); p != 0 || est != 2 {
+		t.Errorf("BestProcessor(t2) = (p%d, %v), want (p0, 2)", p, est)
+	}
+	s.Place(3, 0, 2)
+	s.Place(2, 0, 5)
+	// Now p0 is busy until 7; t1 (comm 1): EST max(3,7)=7 on p0, 3 on p1.
+	if p, est := BestProcessor(s, 1); p != 1 || est != 3 {
+		t.Errorf("BestProcessor(t1) = (p%d, %v), want (p1, 3)", p, est)
+	}
+}
+
+func TestBestProcessorTieBreaksToSmallerIndex(t *testing.T) {
+	g := workload.Independent(3)
+	s := schedule.New(g, machine.NewSystem(3))
+	if p, est := BestProcessor(s, 0); p != 0 || est != 0 {
+		t.Errorf("tie = (p%d, %v), want (p0, 0)", p, est)
+	}
+}

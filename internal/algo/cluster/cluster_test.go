@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/workload"
+)
+
+func TestFromAssignmentSingletons(t *testing.T) {
+	g := workload.PaperExample()
+	assign := make([]int, g.NumTasks())
+	for i := range assign {
+		assign[i] = i
+	}
+	c := FromAssignment(g, assign)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clusters) != g.NumTasks() {
+		t.Fatalf("clusters = %d", len(c.Clusters))
+	}
+	// Fully distributed: makespan equals the comm-inclusive critical path.
+	if got, want := c.Makespan(), g.CriticalPath(); got != want {
+		t.Errorf("makespan = %v, want CP %v", got, want)
+	}
+}
+
+func TestFromAssignmentOneCluster(t *testing.T) {
+	g := workload.PaperExample()
+	assign := make([]int, g.NumTasks()) // all zero: one cluster
+	c := FromAssignment(g, assign)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clusters) != 1 {
+		t.Fatalf("clusters = %d", len(c.Clusters))
+	}
+	// Fully serialized with zero communication: makespan = total comp.
+	if got, want := c.Makespan(), g.TotalComp(); got != want {
+		t.Errorf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestFromAssignmentCompactsSparseIDs(t *testing.T) {
+	g := workload.Chain(4)
+	c := FromAssignment(g, []int{100, 100, -7, -7})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(c.Clusters))
+	}
+	if c.Cluster[0] != c.Cluster[1] || c.Cluster[2] != c.Cluster[3] || c.Cluster[0] == c.Cluster[2] {
+		t.Errorf("Cluster = %v", c.Cluster)
+	}
+}
+
+func TestFromAssignmentRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 30; trial++ {
+		g := workload.GNPDag(rng, 10+rng.Intn(25), 0.1+0.3*rng.Float64())
+		workload.RandomizeWeights(g, rng, nil, 1.0)
+		assign := make([]int, g.NumTasks())
+		k := 1 + rng.Intn(5)
+		for i := range assign {
+			assign[i] = rng.Intn(k)
+		}
+		c := FromAssignment(g, assign)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := workload.Chain(3)
+	c := FromAssignment(g, []int{0, 0, 0})
+	c.Cluster[1] = 99 // inconsistent with Clusters lists
+	if err := c.Validate(); err == nil {
+		t.Error("corrupted cluster map accepted")
+	}
+	c2 := FromAssignment(g, []int{0, 0, 0})
+	c2.Start[2] = 0 // overlaps and violates precedence
+	if err := c2.Validate(); err == nil {
+		t.Error("corrupted start times accepted")
+	}
+	c3 := FromAssignment(g, []int{0, 1, 2})
+	c3.Start[2] = 0 // precedence violation across clusters (comm unpaid)
+	if err := c3.Validate(); err == nil {
+		t.Error("precedence violation accepted")
+	}
+}

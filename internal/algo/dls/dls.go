@@ -1,0 +1,67 @@
+// Package dls implements DLS (Dynamic Level Scheduling)
+// [Sih & Lee, IEEE TPDS 1993], one of the non-duplicating one-step
+// heuristics the paper's introduction cites. It is provided as an
+// extension baseline beyond the paper's measured set.
+//
+// DLS generalizes static-level list scheduling: at each iteration it picks
+// the (ready task, processor) pair maximizing the *dynamic level*
+// DL(t, p) = SL(t) − max(DataReady(t, p), PRT(p)), where SL is the static
+// (computation-only) level. Like ETF it scans all ready tasks against all
+// processors, costing O(W(E+V)P).
+package dls
+
+import (
+	"flb/internal/algo"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+// DLS is the Dynamic Level Scheduling scheduler. The zero value is ready
+// to use.
+type DLS struct{}
+
+// Name implements the Algorithm interface.
+func (DLS) Name() string { return "DLS" }
+
+// Schedule implements the Algorithm interface.
+func (d DLS) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	if err := algo.CheckInputs(g, sys); err != nil {
+		return nil, err
+	}
+	s := schedule.New(g, sys)
+	s.Algorithm = d.Name()
+	sl := g.StaticLevels()
+	rt := algo.NewReadyTracker(g)
+	ready := append([]int(nil), rt.Initial()...)
+
+	for !s.Complete() {
+		bestIdx, bestProc := -1, -1
+		var bestDL, bestEST float64
+		for i, t := range ready {
+			for p := 0; p < sys.P; p++ {
+				est := s.EST(t, p)
+				dl := sl[t] - est
+				better := bestIdx == -1 || dl > bestDL
+				if !better && dl == bestDL {
+					bt := ready[bestIdx]
+					// Deterministic ties: smaller task id, then processor.
+					if t != bt {
+						better = t < bt
+					} else {
+						better = p < bestProc
+					}
+				}
+				if better {
+					bestIdx, bestProc, bestDL, bestEST = i, p, dl, est
+				}
+			}
+		}
+		t := ready[bestIdx]
+		s.Place(t, bestProc, bestEST)
+		ready[bestIdx] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		ready = append(ready, rt.Complete(t)...)
+	}
+	return s, nil
+}

@@ -1,0 +1,57 @@
+package dls
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+func TestDLSValidOnWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(8),
+		workload.Stencil(4, 5),
+		workload.FFT(8),
+		workload.GNPDag(rng, 30, 0.15),
+	}
+	for _, g := range gs {
+		gg := g.Clone()
+		workload.RandomizeWeights(gg, rng, nil, 1.0)
+		for _, p := range []int{1, 2, 4} {
+			s, err := (DLS{}).Schedule(gg, machine.NewSystem(p))
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+			}
+			if err := s.ValidateListOrder(s.PlacementOrder()); err != nil {
+				t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+			}
+		}
+	}
+}
+
+func TestDLSIndependentTasks(t *testing.T) {
+	g := workload.Independent(8)
+	s, err := (DLS{}).Schedule(g, machine.NewSystem(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != 2 {
+		t.Errorf("makespan = %v, want 2", got)
+	}
+}
+
+func TestDLSErrorsAndName(t *testing.T) {
+	if (DLS{}).Name() != "DLS" {
+		t.Errorf("Name = %q", (DLS{}).Name())
+	}
+	if _, err := (DLS{}).Schedule(graph.New("e"), machine.NewSystem(1)); err == nil {
+		t.Error("empty graph accepted")
+	}
+}

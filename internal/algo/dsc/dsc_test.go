@@ -1,0 +1,170 @@
+package dsc
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/workload"
+)
+
+func TestDSCChainCollapsesToOneCluster(t *testing.T) {
+	g := workload.Chain(8)
+	c, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clusters) != 1 {
+		t.Fatalf("chain produced %d clusters, want 1", len(c.Clusters))
+	}
+	if got := c.Makespan(); got != 8 {
+		t.Errorf("makespan = %v, want 8 (all comm zeroed)", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSCIndependentTasksStaySeparate(t *testing.T) {
+	g := workload.Independent(6)
+	c, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clusters) != 6 {
+		t.Fatalf("independent tasks produced %d clusters, want 6", len(c.Clusters))
+	}
+	if got := c.Makespan(); got != 1 {
+		t.Errorf("makespan = %v, want 1", got)
+	}
+}
+
+func TestDSCZeroesHeavyEdge(t *testing.T) {
+	// fork: a -> b (heavy comm), a -> c (light comm). DSC must cluster b
+	// with a (zeroing the heavy edge) and leave c separate (it can start
+	// at 1 + 0.1 elsewhere, earlier than waiting for b).
+	g := graph.New("fork")
+	a := g.AddTask(1)
+	b := g.AddTask(1)
+	c := g.AddTask(1)
+	g.AddEdge(a, b, 100)
+	g.AddEdge(a, c, 0.1)
+	cl, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cluster[a] != cl.Cluster[b] {
+		t.Error("heavy edge a->b not zeroed")
+	}
+	if cl.Cluster[c] == cl.Cluster[a] {
+		t.Error("light successor c merged unnecessarily, delaying it")
+	}
+	if cl.Start[b] != 1 {
+		t.Errorf("Start(b) = %v, want 1", cl.Start[b])
+	}
+	if cl.Start[c] != 1.1 {
+		t.Errorf("Start(c) = %v, want 1.1", cl.Start[c])
+	}
+}
+
+func TestDSCNeverExceedsUnclusteredMakespan(t *testing.T) {
+	// DSC only accepts merges that do not delay a task past its unmerged
+	// arrival time, so its unbounded-machine makespan is at most the
+	// fully-distributed one (the comm-inclusive critical path).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = workload.GNPDag(rng, 10+rng.Intn(40), 0.05+0.3*rng.Float64())
+		} else {
+			g = workload.LayeredRandom(rng, 3+rng.Intn(6), 2+rng.Intn(6), 0.1+0.5*rng.Float64())
+		}
+		workload.RandomizeWeights(g, rng, nil, []float64{0.2, 1, 5}[rng.Intn(3)])
+		c, err := Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if cp := g.CriticalPath(); c.Makespan() > cp+1e-9 {
+			t.Fatalf("trial %d: DSC makespan %v exceeds comm-inclusive CP %v",
+				trial, c.Makespan(), cp)
+		}
+		// Structural sanity: every task in exactly one cluster, cluster
+		// arrays consistent.
+		seen := make([]int, g.NumTasks())
+		for ci, tasks := range c.Clusters {
+			for _, task := range tasks {
+				seen[task]++
+				if c.Cluster[task] != ci {
+					t.Fatalf("trial %d: task %d cluster mismatch", trial, task)
+				}
+			}
+		}
+		for task, n := range seen {
+			if n != 1 {
+				t.Fatalf("trial %d: task %d appears in %d clusters", trial, task, n)
+			}
+		}
+	}
+}
+
+func TestDSCJoinFavorsCriticalPredecessor(t *testing.T) {
+	// join: a (heavy to j) and b (light to j). j must land in a's cluster.
+	g := graph.New("join")
+	a := g.AddTask(1)
+	b := g.AddTask(1)
+	j := g.AddTask(1)
+	g.AddEdge(a, j, 50)
+	g.AddEdge(b, j, 1)
+	c, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cluster[j] != c.Cluster[a] {
+		t.Error("join not clustered with its critical predecessor")
+	}
+	// Start(j) = max(finish(a)=1 zeroed, finish(b)+1 = 2) = 2.
+	if c.Start[j] != 2 {
+		t.Errorf("Start(j) = %v, want 2", c.Start[j])
+	}
+}
+
+func TestDSCErrors(t *testing.T) {
+	if _, err := Run(graph.New("empty")); err == nil {
+		t.Error("empty graph accepted")
+	}
+	cyc := graph.New("cyc")
+	a, b := cyc.AddTask(1), cyc.AddTask(1)
+	cyc.AddEdge(a, b, 1)
+	cyc.AddEdge(b, a, 1)
+	if _, err := Run(cyc); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestDSCPaperExample(t *testing.T) {
+	g := workload.PaperExample()
+	c, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Makespan on unbounded procs must be within [comp-only CP, full CP].
+	if c.Makespan() > g.CriticalPath() {
+		t.Errorf("makespan %v > CP %v", c.Makespan(), g.CriticalPath())
+	}
+	sl := g.StaticLevels()
+	minPossible := 0.0
+	for id := 0; id < g.NumTasks(); id++ {
+		if g.IsEntry(id) && sl[id] > minPossible {
+			minPossible = sl[id]
+		}
+	}
+	if c.Makespan() < minPossible {
+		t.Errorf("makespan %v below comp-only CP %v", c.Makespan(), minPossible)
+	}
+}

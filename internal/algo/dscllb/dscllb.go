@@ -1,0 +1,41 @@
+// Package dscllb composes DSC clustering with LLB cluster mapping into the
+// paper's multi-step baseline DSC-LLB (§3.3): DSC minimizes communication
+// by clustering on an unbounded machine, LLB load-balances the clusters
+// onto the P physical processors.
+package dscllb
+
+import (
+	"flb/internal/algo"
+	"flb/internal/algo/dsc"
+	"flb/internal/algo/llb"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+// DSCLLB is the two-step DSC + LLB scheduler. The zero value is ready to
+// use.
+type DSCLLB struct {
+	// LLB configures the mapping step.
+	LLB llb.LLB
+}
+
+// Name implements the Algorithm interface.
+func (DSCLLB) Name() string { return "DSC-LLB" }
+
+// Schedule implements the Algorithm interface.
+func (d DSCLLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	if err := algo.CheckInputs(g, sys); err != nil {
+		return nil, err
+	}
+	c, err := dsc.Run(g)
+	if err != nil {
+		return nil, err
+	}
+	s, err := d.LLB.Schedule(c, sys)
+	if err != nil {
+		return nil, err
+	}
+	s.Algorithm = d.Name()
+	return s, nil
+}

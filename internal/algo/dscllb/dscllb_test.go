@@ -1,0 +1,55 @@
+package dscllb
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+func TestDSCLLBValidOnWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(9),
+		workload.Laplace(7),
+		workload.Stencil(5, 6),
+		workload.FFT(8),
+		workload.GNPDag(rng, 35, 0.15),
+	}
+	for _, g := range gs {
+		for _, ccr := range []float64{0.2, 5.0} {
+			gg := g.Clone()
+			workload.RandomizeWeights(gg, rng, nil, ccr)
+			for _, p := range []int{1, 2, 4, 8} {
+				s, err := (DSCLLB{}).Schedule(gg, machine.NewSystem(p))
+				if err != nil {
+					t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+				}
+				if s.Algorithm != "DSC-LLB" {
+					t.Fatalf("Algorithm = %q", s.Algorithm)
+				}
+			}
+		}
+	}
+}
+
+func TestDSCLLBErrors(t *testing.T) {
+	if _, err := (DSCLLB{}).Schedule(graph.New("e"), machine.NewSystem(1)); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := (DSCLLB{}).Schedule(workload.Chain(2), machine.System{P: 0}); err == nil {
+		t.Error("P=0 accepted")
+	}
+}
+
+func TestDSCLLBName(t *testing.T) {
+	if (DSCLLB{}).Name() != "DSC-LLB" {
+		t.Errorf("Name = %q", (DSCLLB{}).Name())
+	}
+}

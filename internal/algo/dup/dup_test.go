@@ -1,0 +1,137 @@
+package dup
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/algo/fcp"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+func TestDSHValidOnWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(8),
+		workload.Stencil(4, 5),
+		workload.FFT(8),
+		workload.OutTree(4, 2),
+		workload.GNPDag(rng, 30, 0.15),
+	}
+	for _, g := range gs {
+		for _, ccr := range []float64{0.2, 5.0} {
+			gg := g.Clone()
+			workload.RandomizeWeights(gg, rng, nil, ccr)
+			for _, p := range []int{1, 2, 4} {
+				s, err := (DSH{}).Schedule(gg, machine.NewSystem(p))
+				if err != nil {
+					t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDSHDuplicatesFork(t *testing.T) {
+	// One producer feeding k consumers with heavy messages: duplicating
+	// the producer onto every processor beats shipping its output around.
+	g := graph.New("fanout")
+	src := g.AddTask(1)
+	const k = 4
+	for i := 0; i < k; i++ {
+		c := g.AddTask(4)
+		g.AddEdge(src, c, 10)
+	}
+	s, err := (DSH{}).Schedule(g, machine.NewSystem(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasDuplicates() {
+		t.Fatal("DSH did not duplicate the hot producer")
+	}
+	// Every consumer can start at 2 (local copy of src finishing at 2 or
+	// the original at 1): makespan 6, far below the no-duplication bound
+	// of 1 + 10 + 4 = 15 for the remote consumers.
+	if s.Makespan() > 6+1e-9 {
+		t.Errorf("makespan = %v, want <= 6 with duplication", s.Makespan())
+	}
+
+	// The non-duplicating FCP cannot do this well on the same instance.
+	base, err := (fcp.FCP{}).Schedule(g, machine.NewSystem(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan() <= s.Makespan() {
+		t.Errorf("duplication (%v) did not beat FCP (%v) on a duplication-friendly graph",
+			s.Makespan(), base.Makespan())
+	}
+}
+
+func TestDSHMaxDepth(t *testing.T) {
+	g := graph.New("chain-fan")
+	a := g.AddTask(1)
+	b := g.AddTask(1)
+	g.AddEdge(a, b, 10)
+	c := g.AddTask(1)
+	g.AddEdge(b, c, 10)
+	d := g.AddTask(1)
+	g.AddEdge(c, d, 10)
+	s, err := (DSH{MaxDepth: 1}).Schedule(g, machine.NewSystem(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSHChainNoDuplication(t *testing.T) {
+	// A chain scheduled locally never benefits from duplication.
+	g := workload.Chain(6)
+	s, err := (DSH{}).Schedule(g, machine.NewSystem(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasDuplicates() {
+		t.Error("DSH duplicated on a chain")
+	}
+	if s.Makespan() != 6 {
+		t.Errorf("makespan = %v, want 6", s.Makespan())
+	}
+}
+
+func TestDSHNeverWorseThanWorkBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		g := workload.GNPDag(rng, 20, 0.2)
+		workload.RandomizeWeights(g, rng, nil, 5)
+		s, err := (DSH{}).Schedule(g, machine.NewSystem(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Original tasks all execute at least once.
+		if s.Makespan() < g.TotalComp()/3-1e-9 {
+			t.Fatalf("trial %d: makespan below work bound", trial)
+		}
+	}
+}
+
+func TestDSHErrorsAndName(t *testing.T) {
+	if (DSH{}).Name() != "DSH" {
+		t.Errorf("Name = %q", (DSH{}).Name())
+	}
+	if _, err := (DSH{}).Schedule(graph.New("e"), machine.NewSystem(1)); err == nil {
+		t.Error("empty graph accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Package etf implements ETF (Earliest Task First) scheduling
+// [Hwang, Chow, Anger & Lee, SIAM J. Computing 1989], the paper's
+// reference point for FLB's selection criterion (§3.2).
+//
+// At each iteration ETF tentatively schedules *every* ready task on
+// *every* processor, then commits the pair with the minimum estimated
+// start time. The result quality matches FLB's by construction (both
+// schedule the earliest-starting ready task; only tie-breaking differs),
+// but the exhaustive scan costs O(W(E+V)P) overall — the cost FLB's
+// two-candidate theorem eliminates.
+package etf
+
+import (
+	"flb/internal/algo"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+// ETF is the Earliest Task First scheduler. The zero value is ready to use.
+type ETF struct{}
+
+// Name implements the Algorithm interface.
+func (ETF) Name() string { return "ETF" }
+
+// Schedule implements the Algorithm interface.
+func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	if err := algo.CheckInputs(g, sys); err != nil {
+		return nil, err
+	}
+	s := schedule.New(g, sys)
+	s.Algorithm = e.Name()
+	// ETF breaks start-time ties with statically computed priorities
+	// (paper §6.2); we use bottom levels, larger first.
+	bl := g.BottomLevels()
+	rt := algo.NewReadyTracker(g)
+	ready := append([]int(nil), rt.Initial()...)
+
+	for s.Graph().NumTasks() > 0 && !s.Complete() {
+		bestIdx, bestProc := -1, -1
+		var bestEST float64
+		for i, t := range ready {
+			for p := 0; p < sys.P; p++ {
+				est := s.EST(t, p)
+				better := bestIdx == -1 || est < bestEST
+				if !better && est == bestEST {
+					bt := ready[bestIdx]
+					// Tie: larger bottom level, then smaller task id, then
+					// smaller processor id — fully deterministic.
+					if bl[t] != bl[bt] {
+						better = bl[t] > bl[bt]
+					} else if t != bt {
+						better = t < bt
+					} else {
+						better = p < bestProc
+					}
+				}
+				if better {
+					bestIdx, bestProc, bestEST = i, p, est
+				}
+			}
+		}
+		t := ready[bestIdx]
+		s.Place(t, bestProc, bestEST)
+		ready[bestIdx] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		ready = append(ready, rt.Complete(t)...)
+	}
+	return s, nil
+}

@@ -1,0 +1,123 @@
+package etf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flb/internal/algo"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+	"flb/internal/workload"
+)
+
+func TestETFValidOnWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(9),
+		workload.Laplace(7),
+		workload.Stencil(5, 6),
+		workload.FFT(8),
+		workload.ForkJoin(3, 4),
+		workload.LayeredRandom(rng, 5, 6, 0.3),
+	}
+	for _, g := range gs {
+		for _, p := range []int{1, 2, 4, 7} {
+			s, err := (ETF{}).Schedule(g, machine.NewSystem(p))
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", g.Name, p, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s P=%d: %v", g.Name, p, err)
+			}
+			if err := s.ValidateListOrder(s.PlacementOrder()); err != nil {
+				t.Fatalf("%s P=%d: %v", g.Name, p, err)
+			}
+		}
+	}
+}
+
+// TestETFSelectsGlobalMinEST replays ETF's placements and checks that
+// every placement achieves the global minimum EST over (ready task,
+// processor) pairs — the defining ETF criterion (§3.2), shared with FLB.
+func TestETFSelectsGlobalMinEST(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		g := workload.GNPDag(rng, 10+rng.Intn(25), 0.05+0.4*rng.Float64())
+		workload.RandomizeWeights(g, rng, nil, []float64{0.2, 1, 5}[rng.Intn(3)])
+		P := 1 + rng.Intn(4)
+		s, err := (ETF{}).Schedule(g, machine.NewSystem(P))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		replica := schedule.New(g, machine.NewSystem(P))
+		rt := algo.NewReadyTracker(g)
+		ready := map[int]bool{}
+		for _, e := range rt.Initial() {
+			ready[e] = true
+		}
+		for _, task := range s.PlacementOrder() {
+			best := math.Inf(1)
+			for rdy := range ready {
+				for p := 0; p < P; p++ {
+					if est := replica.EST(rdy, p); est < best {
+						best = est
+					}
+				}
+			}
+			if math.Abs(s.Start(task)-best) > 1e-9 {
+				t.Fatalf("trial %d: ETF started t%d at %v, oracle min EST %v",
+					trial, task, s.Start(task), best)
+			}
+			replica.Place(task, s.Proc(task), s.Start(task))
+			delete(ready, task)
+			for _, nt := range rt.Complete(task) {
+				ready[nt] = true
+			}
+		}
+	}
+}
+
+func TestETFPaperExample(t *testing.T) {
+	// ETF shares FLB's selection criterion, so on the paper's example it
+	// must also reach makespan 14 on 2 processors (only tie-breaking
+	// differs, and the example's decisions are tie-free except where the
+	// non-EP preference applies).
+	g := workload.PaperExample()
+	s, err := (ETF{}).Schedule(g, machine.NewSystem(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != 14 {
+		t.Errorf("ETF makespan on Fig.1 = %v, want 14", got)
+	}
+}
+
+func TestETFErrors(t *testing.T) {
+	if _, err := (ETF{}).Schedule(graph.New("empty"), machine.NewSystem(1)); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := (ETF{}).Schedule(workload.PaperExample(), machine.System{P: -1}); err == nil {
+		t.Error("bad system accepted")
+	}
+}
+
+func TestETFName(t *testing.T) {
+	if (ETF{}).Name() != "ETF" {
+		t.Errorf("Name = %q", (ETF{}).Name())
+	}
+}
+
+func TestETFIndependentTasks(t *testing.T) {
+	g := workload.Independent(9)
+	s, err := (ETF{}).Schedule(g, machine.NewSystem(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != 3 {
+		t.Errorf("makespan = %v, want 3", got)
+	}
+}

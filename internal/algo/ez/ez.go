@@ -1,0 +1,77 @@
+// Package ez implements EZ (Edge Zeroing) clustering [Sarkar 1989 — the
+// paper's reference [9], the origin of the multi-step scheduling method].
+//
+// Edges are examined in decreasing communication-cost order; for each, the
+// clusters of its endpoints are tentatively merged (zeroing every edge
+// between them) and the merge is kept only if the estimated parallel time
+// on an unbounded machine does not increase. EZ is an extension baseline
+// here: it predates DSC and is considerably more expensive
+// (O(E(E+V) log V), one schedule re-evaluation per edge), but exercises
+// the same multi-step pipeline (clusterer + LLB) with a different
+// clustering philosophy — global greedy edge elimination instead of DSC's
+// dominant-sequence walk.
+package ez
+
+import (
+	"sort"
+
+	"flb/internal/algo"
+	"flb/internal/algo/cluster"
+	"flb/internal/graph"
+)
+
+// Run clusters g by Sarkar's edge-zeroing heuristic.
+func Run(g *graph.Graph) (*cluster.Clustering, error) {
+	if g.NumTasks() == 0 {
+		return nil, algo.ErrNoTasks
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	assign := make([]int, n)
+	members := make([][]int, n)
+	for t := 0; t < n; t++ {
+		assign[t] = t
+		members[t] = []int{t}
+	}
+
+	// Edges by decreasing communication cost; ties by index for
+	// determinism.
+	order := make([]int, g.NumEdges())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := g.Edge(order[a]).Comm, g.Edge(order[b]).Comm
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+
+	best := cluster.FromAssignment(g, assign).Makespan()
+	for _, ei := range order {
+		e := g.Edge(ei)
+		a, b := assign[e.From], assign[e.To]
+		if a == b {
+			continue // already zeroed by an earlier merge
+		}
+		// Tentatively move cluster b's members into cluster a.
+		for _, x := range members[b] {
+			assign[x] = a
+		}
+		if mk := cluster.FromAssignment(g, assign).Makespan(); mk <= best+1e-12 {
+			// Keep the merge: the estimated parallel time did not grow.
+			best = mk
+			members[a] = append(members[a], members[b]...)
+			members[b] = nil
+		} else {
+			// Revert.
+			for _, x := range members[b] {
+				assign[x] = b
+			}
+		}
+	}
+	return cluster.FromAssignment(g, assign), nil
+}

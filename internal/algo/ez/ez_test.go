@@ -1,0 +1,81 @@
+package ez
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/workload"
+)
+
+func TestEZZeroesHeaviestEdges(t *testing.T) {
+	// fork-join with one heavy branch: a -> b(heavy) -> d, a -> c(light) -> d.
+	g := graph.New("fj")
+	a := g.AddTask(1)
+	b := g.AddTask(1)
+	c := g.AddTask(1)
+	d := g.AddTask(1)
+	g.AddEdge(a, b, 50)
+	g.AddEdge(a, c, 1)
+	g.AddEdge(b, d, 50)
+	g.AddEdge(c, d, 1)
+	cl, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The heavy chain a-b-d must be one cluster.
+	if cl.Cluster[a] != cl.Cluster[b] || cl.Cluster[b] != cl.Cluster[d] {
+		t.Errorf("heavy path not clustered: %v", cl.Cluster)
+	}
+	// Makespan: a,b,d serial (3) and c's messages 1+1... c joins or not,
+	// but the result must beat the fully distributed CP of 103.
+	if cl.Makespan() >= g.CriticalPath() {
+		t.Errorf("EZ did not improve on no clustering: %v >= %v", cl.Makespan(), g.CriticalPath())
+	}
+}
+
+func TestEZNeverIncreasesParallelTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		g := workload.GNPDag(rng, 10+rng.Intn(20), 0.1+0.3*rng.Float64())
+		workload.RandomizeWeights(g, rng, nil, []float64{0.2, 5}[rng.Intn(2)])
+		cl, err := Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if cl.Makespan() > g.CriticalPath()+1e-9 {
+			t.Fatalf("trial %d: EZ makespan %v exceeds unclustered %v",
+				trial, cl.Makespan(), g.CriticalPath())
+		}
+	}
+}
+
+func TestEZIndependentTasksStaySeparate(t *testing.T) {
+	g := workload.Independent(5)
+	cl, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Clusters) != 5 {
+		t.Errorf("clusters = %d, want 5 (no edges to zero)", len(cl.Clusters))
+	}
+}
+
+func TestEZErrors(t *testing.T) {
+	if _, err := Run(graph.New("e")); err == nil {
+		t.Error("empty graph accepted")
+	}
+	cyc := graph.New("cyc")
+	a, b := cyc.AddTask(1), cyc.AddTask(1)
+	cyc.AddEdge(a, b, 1)
+	cyc.AddEdge(b, a, 1)
+	if _, err := Run(cyc); err == nil {
+		t.Error("cycle accepted")
+	}
+}

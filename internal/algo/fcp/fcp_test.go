@@ -1,0 +1,130 @@
+package fcp
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+	"flb/internal/workload"
+)
+
+func TestFCPValidOnWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(9),
+		workload.Laplace(7),
+		workload.Stencil(5, 6),
+		workload.FFT(8),
+		workload.OutTree(4, 3),
+		workload.LayeredRandom(rng, 5, 6, 0.3),
+	}
+	for _, g := range gs {
+		for _, ccr := range []float64{0.2, 5.0} {
+			gg := g.Clone()
+			workload.RandomizeWeights(gg, rng, nil, ccr)
+			for _, p := range []int{1, 2, 4, 8} {
+				s, err := (FCP{}).Schedule(gg, machine.NewSystem(p))
+				if err != nil {
+					t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+				}
+				if err := s.ValidateListOrder(s.PlacementOrder()); err != nil {
+					t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+				}
+			}
+		}
+	}
+}
+
+func TestFCPSchedulesCriticalTaskFirst(t *testing.T) {
+	// Two independent chains, one clearly more critical (longer). FCP must
+	// start the critical chain's head first.
+	g := graph.New("two-chains")
+	a0 := g.AddTask(1) // short chain
+	a1 := g.AddTask(1)
+	g.AddEdge(a0, a1, 1)
+	b0 := g.AddTask(1) // long chain: higher bottom level
+	b1 := g.AddTask(5)
+	b2 := g.AddTask(5)
+	g.AddEdge(b0, b1, 1)
+	g.AddEdge(b1, b2, 1)
+	s, err := (FCP{}).Schedule(g, machine.NewSystem(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := s.PlacementOrder()
+	if order[0] != b0 {
+		t.Errorf("first placed task = %d, want the critical chain head %d", order[0], b0)
+	}
+}
+
+func TestFCPChainStaysLocal(t *testing.T) {
+	g := workload.Chain(8)
+	s, err := (FCP{}).Schedule(g, machine.NewSystem(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := s.Proc(0)
+	for id := 1; id < 8; id++ {
+		if s.Proc(id) != p0 {
+			t.Fatalf("chain split: task %d on p%d", id, s.Proc(id))
+		}
+	}
+	if s.Makespan() != 8 {
+		t.Errorf("makespan = %v, want 8", s.Makespan())
+	}
+}
+
+func TestFCPIndependentTasksBalance(t *testing.T) {
+	g := workload.Independent(12)
+	s, err := (FCP{}).Schedule(g, machine.NewSystem(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != 3 {
+		t.Errorf("makespan = %v, want 3", got)
+	}
+}
+
+func TestFCPErrors(t *testing.T) {
+	if _, err := (FCP{}).Schedule(graph.New("e"), machine.NewSystem(1)); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := (FCP{}).Schedule(workload.Chain(2), machine.System{P: 0}); err == nil {
+		t.Error("P=0 accepted")
+	}
+}
+
+func TestFCPName(t *testing.T) {
+	if (FCP{}).Name() != "FCP" {
+		t.Errorf("Name = %q", (FCP{}).Name())
+	}
+}
+
+func TestEnablingProc(t *testing.T) {
+	g := workload.PaperExample()
+	sys := machine.NewSystem(2)
+	s, err := (FCP{}).Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+	// Entry task has no enabling processor; probe on a fresh partial
+	// schedule.
+	s2 := schedule.New(g, sys)
+	if ep := enablingProc(g, s2, sys, 0); ep != -1 {
+		t.Errorf("entry task EP = %d, want -1", ep)
+	}
+	// After placing t0 on p1, every child's last message comes from p1.
+	s2.Place(0, 1, 0)
+	for _, child := range []int{1, 2, 3} {
+		if ep := enablingProc(g, s2, sys, child); ep != 1 {
+			t.Errorf("EP(t%d) = %d, want 1", child, ep)
+		}
+	}
+}

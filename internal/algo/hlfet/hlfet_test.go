@@ -1,0 +1,64 @@
+package hlfet
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+func TestHLFETValidOnWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(8),
+		workload.Stencil(4, 5),
+		workload.FFT(8),
+		workload.GNPDag(rng, 30, 0.15),
+	}
+	for _, g := range gs {
+		gg := g.Clone()
+		workload.RandomizeWeights(gg, rng, nil, 1.0)
+		for _, p := range []int{1, 2, 4} {
+			s, err := (HLFET{}).Schedule(gg, machine.NewSystem(p))
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+			}
+			if err := s.ValidateListOrder(s.PlacementOrder()); err != nil {
+				t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+			}
+		}
+	}
+}
+
+func TestHLFETPicksHighestLevelFirst(t *testing.T) {
+	// Two independent chains; the longer one has the higher static level
+	// and must start first.
+	g := graph.New("chains")
+	short := g.AddTask(1)
+	long0 := g.AddTask(1)
+	long1 := g.AddTask(9)
+	g.AddEdge(long0, long1, 1)
+	s, err := (HLFET{}).Schedule(g, machine.NewSystem(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order := s.PlacementOrder(); order[0] != long0 {
+		t.Errorf("first placed = %d, want %d (highest static level)", order[0], long0)
+	}
+	_ = short
+}
+
+func TestHLFETNameAndErrors(t *testing.T) {
+	if (HLFET{}).Name() != "HLFET" {
+		t.Errorf("Name = %q", (HLFET{}).Name())
+	}
+	if _, err := (HLFET{}).Schedule(graph.New("e"), machine.NewSystem(1)); err == nil {
+		t.Error("empty graph accepted")
+	}
+}

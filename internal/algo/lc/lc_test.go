@@ -1,0 +1,107 @@
+package lc
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/workload"
+)
+
+func TestLCChainIsOneCluster(t *testing.T) {
+	g := workload.Chain(6)
+	cl, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Clusters) != 1 {
+		t.Errorf("chain produced %d clusters", len(cl.Clusters))
+	}
+	if cl.Makespan() != 6 {
+		t.Errorf("makespan = %v", cl.Makespan())
+	}
+}
+
+func TestLCClustersAreChains(t *testing.T) {
+	// Every LC cluster must be a linear path of the DAG: consecutive
+	// cluster members are connected by an edge.
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		g := workload.GNPDag(rng, 10+rng.Intn(25), 0.1+0.3*rng.Float64())
+		workload.RandomizeWeights(g, rng, nil, 1.0)
+		cl, err := Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		hasEdge := map[[2]int]bool{}
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(i)
+			hasEdge[[2]int{e.From, e.To}] = true
+		}
+		for ci, tasks := range cl.Clusters {
+			for i := 1; i < len(tasks); i++ {
+				if !hasEdge[[2]int{tasks[i-1], tasks[i]}] {
+					t.Fatalf("trial %d: cluster %d members %d,%d not adjacent",
+						trial, ci, tasks[i-1], tasks[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLCFirstClusterIsCriticalPath(t *testing.T) {
+	g := workload.PaperExample()
+	cl, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1 has two comp+comm critical paths of length 15
+	// (t0-t3-t5-t7 and t0-t2-t6-t7); cluster 0 must be one of them:
+	// its comp+comm length must equal the graph's critical path.
+	got := cl.Clusters[0]
+	length := 0.0
+	for i, task := range got {
+		length += g.Comp(task)
+		if i+1 < len(got) {
+			for ei := 0; ei < g.NumEdges(); ei++ {
+				e := g.Edge(ei)
+				if e.From == task && e.To == got[i+1] {
+					length += e.Comm
+				}
+			}
+		}
+	}
+	if cp := g.CriticalPath(); length != cp {
+		t.Fatalf("cluster 0 = %v has length %v, want the critical path %v", got, length, cp)
+	}
+}
+
+func TestLCIndependentTasks(t *testing.T) {
+	g := workload.Independent(4)
+	cl, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Clusters) != 4 {
+		t.Errorf("clusters = %d", len(cl.Clusters))
+	}
+}
+
+func TestLCErrors(t *testing.T) {
+	if _, err := Run(graph.New("e")); err == nil {
+		t.Error("empty graph accepted")
+	}
+	cyc := graph.New("cyc")
+	a, b := cyc.AddTask(1), cyc.AddTask(1)
+	cyc.AddEdge(a, b, 1)
+	cyc.AddEdge(b, a, 1)
+	if _, err := Run(cyc); err == nil {
+		t.Error("cycle accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package llb
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/algo/cluster"
+	"flb/internal/algo/dsc"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+func mustCluster(t *testing.T, g *graph.Graph) *cluster.Clustering {
+	t.Helper()
+	c, err := dsc.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLLBValidAndClusterIntegrity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(9),
+		workload.Laplace(7),
+		workload.Stencil(5, 6),
+		workload.ForkJoin(3, 4),
+		workload.GNPDag(rng, 35, 0.15),
+	}
+	for _, g := range gs {
+		gg := g.Clone()
+		workload.RandomizeWeights(gg, rng, nil, 1.0)
+		c := mustCluster(t, gg)
+		for _, p := range []int{1, 2, 4} {
+			s, err := (LLB{}).Schedule(c, machine.NewSystem(p))
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s P=%d: %v", gg.Name, p, err)
+			}
+			// Cluster integrity: LLB maps whole clusters, so all tasks of a
+			// cluster share a processor.
+			for ci, tasks := range c.Clusters {
+				if len(tasks) == 0 {
+					continue
+				}
+				p0 := s.Proc(tasks[0])
+				for _, task := range tasks {
+					if s.Proc(task) != p0 {
+						t.Fatalf("%s P=%d: cluster %d split across processors", gg.Name, p, ci)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLLBBothOrders(t *testing.T) {
+	g := workload.LU(8)
+	rng := rand.New(rand.NewSource(2))
+	workload.RandomizeWeights(g, rng, nil, 1.0)
+	c := mustCluster(t, g)
+	for _, order := range []CandidateOrder{LargestBL, SmallestBL} {
+		s, err := (LLB{Order: order}).Schedule(c, machine.NewSystem(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+	}
+}
+
+func TestLLBMoreClustersThanProcs(t *testing.T) {
+	// Independent tasks give one cluster each; LLB must load-balance many
+	// clusters onto few processors.
+	g := workload.Independent(10)
+	c := mustCluster(t, g)
+	if len(c.Clusters) != 10 {
+		t.Fatalf("clusters = %d", len(c.Clusters))
+	}
+	s, err := (LLB{}).Schedule(c, machine.NewSystem(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 unit tasks on 3 procs: optimal makespan ceil(10/3) = 4.
+	if got := s.Makespan(); got != 4 {
+		t.Errorf("makespan = %v, want 4", got)
+	}
+}
+
+func TestLLBSingleProc(t *testing.T) {
+	g := workload.PaperExample()
+	c := mustCluster(t, g)
+	s, err := (LLB{}).Schedule(c, machine.NewSystem(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Makespan(), g.TotalComp(); got != want {
+		t.Errorf("P=1 makespan = %v, want %v", got, want)
+	}
+}
+
+func TestLLBErrors(t *testing.T) {
+	g := workload.Chain(3)
+	c := mustCluster(t, g)
+	if _, err := (LLB{}).Schedule(c, machine.System{P: 0}); err == nil {
+		t.Error("P=0 accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package mcp
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+func allVariants() []MCP {
+	return []MCP{
+		{},                    // paper's low-cost random tie-break
+		{Seed: 42},            // different seed
+		{Tie: TieDescendants}, // original MCP ordering
+		{Insertion: true},     // insertion-based placement
+		{Tie: TieDescendants, Insertion: true},
+	}
+}
+
+func TestMCPValidOnWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(9),
+		workload.Laplace(7),
+		workload.Stencil(5, 6),
+		workload.FFT(8),
+		workload.InTree(4, 2),
+		workload.LayeredRandom(rng, 5, 6, 0.3),
+	}
+	for _, g := range gs {
+		gg := g.Clone()
+		workload.RandomizeWeights(gg, rng, nil, 1.0)
+		for _, m := range allVariants() {
+			for _, p := range []int{1, 2, 5} {
+				s, err := m.Schedule(gg, machine.NewSystem(p))
+				if err != nil {
+					t.Fatalf("%s %s P=%d: %v", m.Name(), gg.Name, p, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("%s %s P=%d: %v", m.Name(), gg.Name, p, err)
+				}
+				if err := s.ValidateListOrder(s.PlacementOrder()); err != nil {
+					t.Fatalf("%s %s P=%d: %v", m.Name(), gg.Name, p, err)
+				}
+			}
+		}
+	}
+}
+
+func TestMCPNames(t *testing.T) {
+	cases := map[string]MCP{
+		"MCP":          {},
+		"MCP-desc":     {Tie: TieDescendants},
+		"MCP-ins":      {Insertion: true},
+		"MCP-desc-ins": {Tie: TieDescendants, Insertion: true},
+	}
+	for want, m := range cases {
+		if got := m.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMCPDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := workload.LayeredRandom(rng, 6, 5, 0.3)
+	workload.RandomizeWeights(g, rng, nil, 1.0)
+	sys := machine.NewSystem(4)
+	a, _ := (MCP{Seed: 7}).Schedule(g, sys)
+	b, _ := (MCP{Seed: 7}).Schedule(g, sys)
+	for id := 0; id < g.NumTasks(); id++ {
+		if a.Proc(id) != b.Proc(id) || a.Start(id) != b.Start(id) {
+			t.Fatalf("same seed, different schedule at task %d", id)
+		}
+	}
+}
+
+func TestMCPSeedChangesTieBreaking(t *testing.T) {
+	// A graph made of ties: many identical independent chains. Different
+	// seeds should (almost surely) order at least one pair differently.
+	g := graph.New("ties")
+	for c := 0; c < 6; c++ {
+		a := g.AddTask(1)
+		b := g.AddTask(1)
+		g.AddEdge(a, b, 1)
+	}
+	sys := machine.NewSystem(2)
+	a, _ := (MCP{Seed: 1}).Schedule(g, sys)
+	b, _ := (MCP{Seed: 2}).Schedule(g, sys)
+	same := true
+	for id := 0; id < g.NumTasks(); id++ {
+		if a.Proc(id) != b.Proc(id) || a.Start(id) != b.Start(id) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical schedules on an all-ties graph")
+	}
+	// Makespan must be optimal (6) regardless: 12 units of work, 2 procs,
+	// but chains serialize pairwise -> per-proc load 6.
+	if a.Makespan() != 6 || b.Makespan() != 6 {
+		t.Errorf("makespans = %v, %v, want 6", a.Makespan(), b.Makespan())
+	}
+}
+
+func TestMCPALAPOrderRespected(t *testing.T) {
+	// On a chain, ALAP order is the chain order; MCP must schedule it
+	// sequentially on one processor with no idle time.
+	g := workload.Chain(10)
+	s, err := (MCP{}).Schedule(g, machine.NewSystem(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != 10 {
+		t.Errorf("chain makespan = %v, want 10", got)
+	}
+	p0 := s.Proc(0)
+	for id := 1; id < 10; id++ {
+		if s.Proc(id) != p0 {
+			t.Errorf("chain task %d moved to p%d", id, s.Proc(id))
+		}
+	}
+}
+
+func TestMCPInsertionFillsGap(t *testing.T) {
+	// Construct a schedule where a gap arises: two entry chains with heavy
+	// communication force idle time that a small independent task can fill
+	// only with insertion.
+	g := graph.New("gap")
+	a := g.AddTask(4) // big entry task
+	b := g.AddTask(1) // dependent with big comm: creates a gap on p1
+	g.AddEdge(a, b, 10)
+	c := g.AddTask(2) // independent filler
+	_ = c
+	sys := machine.NewSystem(1)
+	ins, err := (MCP{Insertion: true}).Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	app, err := (MCP{}).Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Makespan() > app.Makespan() {
+		t.Errorf("insertion (%v) worse than appending (%v)", ins.Makespan(), app.Makespan())
+	}
+}
+
+func TestGapTracker(t *testing.T) {
+	gt := newGapTracker(1)
+	gt.occupy(0, 2, 5)
+	gt.occupy(0, 8, 10)
+	cases := []struct {
+		ready, comp, want float64
+	}{
+		{0, 2, 0},   // fits before the first interval
+		{0, 3, 5},   // too big for [0,2), fits in [5,8)
+		{0, 4, 10},  // only after everything
+		{3, 1, 5},   // ready mid-interval, fits in [5,8)
+		{6, 2, 6},   // fits in the remainder of [5,8)
+		{6, 3, 10},  // does not fit in [6,8)
+		{11, 1, 11}, // after all intervals
+	}
+	for _, c := range cases {
+		if got := gt.earliest(0, c.ready, c.comp); got != c.want {
+			t.Errorf("earliest(ready=%v, comp=%v) = %v, want %v", c.ready, c.comp, got, c.want)
+		}
+	}
+}
+
+func TestLexLess(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{1, 3}, []float64{1, 2}, false},
+		{[]float64{1}, []float64{1, 2}, true},
+		{[]float64{1, 2}, []float64{1}, false},
+		{nil, nil, false},
+		{[]float64{2}, []float64{1, 9}, false},
+	}
+	for _, c := range cases {
+		if got := lexLess(c.a, c.b); got != c.want {
+			t.Errorf("lexLess(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package refine implements a local-search post-pass over the list
+// schedulers' output — the natural "spend more compile time for better
+// schedules" knob the paper's conclusion hints at when contrasting cheap
+// and expensive heuristics.
+//
+// Given a complete schedule, the refiner hill-climbs on the processor
+// assignment: it repeatedly examines the tasks on the critical
+// (makespan-defining) processor, tentatively moves each to every other
+// processor, rebuilds the schedule deterministically (tasks keep the
+// original placement order as priority; each is appended to its assigned
+// processor at its earliest feasible start) and accepts the best strictly
+// improving move. The rebuild is O(V log ... + E) per evaluation, so one
+// refinement round costs O(K * P * (V + E)) for K candidate tasks.
+package refine
+
+import (
+	"fmt"
+
+	"flb/internal/algo"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+// Refiner wraps an inner algorithm with local-search refinement.
+type Refiner struct {
+	// Inner produces the initial schedule.
+	Inner algo.Algorithm
+	// MaxMoves bounds the accepted moves; 0 means 4*P.
+	MaxMoves int
+}
+
+// Name implements the Algorithm interface.
+func (r Refiner) Name() string { return r.Inner.Name() + "+ls" }
+
+// Schedule implements the Algorithm interface.
+func (r Refiner) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	s, err := r.Inner.Schedule(g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return Refine(s, r.MaxMoves)
+}
+
+// Refine hill-climbs on s's processor assignment and returns the improved
+// schedule (possibly s itself when no move helps). s must be a complete
+// schedule without duplicates.
+func Refine(s *schedule.Schedule, maxMoves int) (*schedule.Schedule, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("refine: schedule is incomplete")
+	}
+	if s.HasDuplicates() {
+		return nil, fmt.Errorf("refine: duplicated schedules are not supported")
+	}
+	g := s.Graph()
+	sys := s.System()
+	if maxMoves == 0 {
+		maxMoves = 4 * sys.P
+	}
+	order := append([]int(nil), s.PlacementOrder()...)
+	assign := make([]machine.Proc, g.NumTasks())
+	for t := range assign {
+		assign[t] = s.Proc(t)
+	}
+	best := rebuild(g, sys, order, assign)
+	bestScore := score(best)
+	best.Algorithm = s.Algorithm + "+ls"
+
+	for move := 0; move < maxMoves; move++ {
+		// Candidates: tasks on every processor tied at the makespan —
+		// when several processors define it, unloading only one is a
+		// plateau move, which the secondary score term still rewards.
+		mk := best.Makespan()
+		var candidates []int
+		for p := 0; p < sys.P; p++ {
+			if best.PRT(p) >= mk-1e-9 {
+				candidates = append(candidates, best.TasksOn(p)...)
+			}
+		}
+		improved := false
+		var bestTask int
+		var bestProc machine.Proc
+		bestCand := bestScore
+		for _, t := range candidates {
+			orig := assign[t]
+			for p := 0; p < sys.P; p++ {
+				if p == orig {
+					continue
+				}
+				assign[t] = p
+				if sc := score(rebuild(g, sys, order, assign)); scoreLess(sc, bestCand) {
+					bestCand, bestTask, bestProc = sc, t, p
+					improved = true
+				}
+			}
+			assign[t] = orig
+		}
+		if !improved {
+			break
+		}
+		assign[bestTask] = bestProc
+		best = rebuild(g, sys, order, assign)
+		best.Algorithm = s.Algorithm + "+ls"
+		bestScore = bestCand
+	}
+	return best, nil
+}
+
+// score orders schedules lexicographically by (makespan, sum of squared
+// processor ready times). The quadratic term breaks makespan plateaus:
+// balancing load off a tied-critical processor strictly lowers it, letting
+// the search escape states where two processors define the makespan.
+func score(s *schedule.Schedule) [2]float64 {
+	var sq float64
+	for p := 0; p < s.NumProcs(); p++ {
+		sq += s.PRT(p) * s.PRT(p)
+	}
+	return [2]float64{s.Makespan(), sq}
+}
+
+func scoreLess(a, b [2]float64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]-1e-12
+	}
+	return a[1] < b[1]-1e-12
+}
+
+// rebuild constructs the schedule that places tasks in the given order on
+// their assigned processors, each at its earliest feasible start.
+func rebuild(g *graph.Graph, sys machine.System, order []int, assign []machine.Proc) *schedule.Schedule {
+	s := schedule.New(g, sys)
+	for _, t := range order {
+		s.Place(t, assign[t], s.EST(t, assign[t]))
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/algo/fcp"
+	"flb/internal/core"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+	"flb/internal/workload"
+)
+
+func TestRefineNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 25; trial++ {
+		g := workload.GNPDag(rng, 15+rng.Intn(25), 0.1+0.3*rng.Float64())
+		workload.RandomizeWeights(g, rng, nil, []float64{0.2, 1, 5}[rng.Intn(3)])
+		P := 2 + rng.Intn(4)
+		s, err := core.FLB{}.Schedule(g, machine.NewSystem(P))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Refine(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.Makespan() > s.Makespan()+1e-9 {
+			t.Fatalf("trial %d: refinement worsened %v -> %v", trial, s.Makespan(), r.Makespan())
+		}
+	}
+}
+
+func TestRefineFixesBadAssignment(t *testing.T) {
+	// A deliberately bad schedule: two independent tasks crammed onto one
+	// processor of a two-processor machine. One move fixes it.
+	g := workload.Independent(2)
+	s := schedule.New(g, machine.NewSystem(2))
+	s.Algorithm = "bad"
+	s.Place(0, 0, 0)
+	s.Place(1, 0, 1)
+	r, err := Refine(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Makespan(); got != 1 {
+		t.Errorf("refined makespan = %v, want 1", got)
+	}
+	if r.Algorithm != "bad+ls" {
+		t.Errorf("Algorithm = %q", r.Algorithm)
+	}
+}
+
+func TestRefinerWrapsAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	g := workload.LU(9)
+	workload.RandomizeWeights(g, rng, nil, 5)
+	inner := fcp.FCP{}
+	wrapped := Refiner{Inner: inner}
+	if wrapped.Name() != "FCP+ls" {
+		t.Errorf("Name = %q", wrapped.Name())
+	}
+	base, err := inner.Schedule(g, machine.NewSystem(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := wrapped.Schedule(g, machine.NewSystem(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Makespan() > base.Makespan()+1e-9 {
+		t.Errorf("wrapped makespan %v worse than inner %v", ref.Makespan(), base.Makespan())
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	g := workload.Chain(3)
+	s := schedule.New(g, machine.NewSystem(1))
+	if _, err := Refine(s, 0); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+	if _, err := (Refiner{Inner: core.FLB{}}).Schedule(graph.New("e"), machine.NewSystem(1)); err == nil {
+		t.Error("inner error not propagated")
+	}
+}
+
+func TestRefineRespectsMoveBudget(t *testing.T) {
+	// With maxMoves = 1 the refiner stops after a single accepted move.
+	g := workload.Independent(4)
+	s := schedule.New(g, machine.NewSystem(4))
+	for i := 0; i < 4; i++ {
+		s.Place(i, 0, float64(i))
+	}
+	r1, err := Refine(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAll, err := Refine(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r1.Makespan() >= rAll.Makespan()) {
+		t.Errorf("budgeted refine (%v) beat unbounded (%v)", r1.Makespan(), rAll.Makespan())
+	}
+	if rAll.Makespan() != 1 {
+		t.Errorf("full refine makespan = %v, want 1", rAll.Makespan())
+	}
+}

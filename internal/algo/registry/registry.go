@@ -1,0 +1,118 @@
+// Package registry provides name-based construction of every scheduling
+// algorithm in the module, for the CLI tools and the benchmark harness.
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"flb/internal/algo"
+	"flb/internal/algo/cluster"
+	"flb/internal/algo/dls"
+	"flb/internal/algo/dscllb"
+	"flb/internal/algo/dup"
+	"flb/internal/algo/etf"
+	"flb/internal/algo/ez"
+	"flb/internal/algo/fcp"
+	"flb/internal/algo/hlfet"
+	"flb/internal/algo/lc"
+	"flb/internal/algo/llb"
+	"flb/internal/algo/mcp"
+	"flb/internal/algo/refine"
+	"flb/internal/core"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+// Names returns the algorithm names in the paper's reporting order
+// (Fig. 4: MCP, ETF, DSC-LLB, FCP, FLB), followed by the extension
+// baselines.
+func Names() []string {
+	return []string{"mcp", "etf", "dsc-llb", "fcp", "flb", "dls", "hlfet", "ez-llb", "lc-llb", "dsh", "flb-ls", "fcp-ls", "mcp-desc", "mcp-ins", "flb-nobl", "flb-eptie"}
+}
+
+// PaperNames returns only the algorithms measured in the paper's Fig. 2
+// and Fig. 4.
+func PaperNames() []string {
+	return []string{"mcp", "etf", "dsc-llb", "fcp", "flb"}
+}
+
+// New constructs the named algorithm. Names are case-insensitive. seed
+// drives randomized tie-breaking where the algorithm has any (MCP).
+func New(name string, seed int64) (algo.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "flb":
+		return core.FLB{}, nil
+	case "flb-nobl":
+		return core.FLB{NoBLTieBreak: true}, nil
+	case "flb-eptie":
+		return core.FLB{PreferEPOnTie: true}, nil
+	case "etf":
+		return etf.ETF{}, nil
+	case "mcp":
+		return mcp.MCP{Seed: seed}, nil
+	case "mcp-desc":
+		return mcp.MCP{Tie: mcp.TieDescendants}, nil
+	case "mcp-ins":
+		return mcp.MCP{Seed: seed, Insertion: true}, nil
+	case "fcp":
+		return fcp.FCP{}, nil
+	case "dls":
+		return dls.DLS{}, nil
+	case "hlfet":
+		return hlfet.HLFET{}, nil
+	case "dsc-llb", "dscllb":
+		return dscllb.DSCLLB{}, nil
+	case "ez-llb":
+		return multiStep{name: "EZ-LLB", clusterer: ez.Run}, nil
+	case "lc-llb":
+		return multiStep{name: "LC-LLB", clusterer: lc.Run}, nil
+	case "dsh":
+		return dup.DSH{}, nil
+	case "flb-ls":
+		return refine.Refiner{Inner: core.FLB{}}, nil
+	case "fcp-ls":
+		return refine.Refiner{Inner: fcp.FCP{}}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown algorithm %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
+
+// MustNew is New panicking on error, for tables of known-good names.
+func MustNew(name string, seed int64) algo.Algorithm {
+	a, err := New(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// multiStep composes an arbitrary clusterer with the LLB mapping step —
+// the general multi-step scheduling method the paper's §1 describes, with
+// the extension clusterers EZ and LC plugged in beside DSC.
+type multiStep struct {
+	name      string
+	clusterer func(*graph.Graph) (*cluster.Clustering, error)
+}
+
+// Name implements the Algorithm interface.
+func (m multiStep) Name() string { return m.name }
+
+// Schedule implements the Algorithm interface.
+func (m multiStep) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	if err := algo.CheckInputs(g, sys); err != nil {
+		return nil, err
+	}
+	c, err := m.clusterer(g)
+	if err != nil {
+		return nil, err
+	}
+	s, err := llb.LLB{}.Schedule(c, sys)
+	if err != nil {
+		return nil, err
+	}
+	s.Algorithm = m.name
+	return s, nil
+}

@@ -1,0 +1,142 @@
+package registry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+func TestNewKnowsEveryName(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name, 1)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if a.Name() == "" {
+			t.Errorf("New(%q).Name() empty", name)
+		}
+	}
+	// Case-insensitive and alias.
+	if _, err := New("FLB", 0); err != nil {
+		t.Errorf("uppercase name rejected: %v", err)
+	}
+	if _, err := New("dscllb", 0); err != nil {
+		t.Errorf("dscllb alias rejected: %v", err)
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("quantum-annealer", 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew on unknown name did not panic")
+		}
+	}()
+	MustNew("nope", 0)
+}
+
+func TestPaperNamesSubset(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range Names() {
+		all[n] = true
+	}
+	for _, n := range PaperNames() {
+		if !all[n] {
+			t.Errorf("paper algorithm %q missing from Names()", n)
+		}
+	}
+	if len(PaperNames()) != 5 {
+		t.Errorf("PaperNames = %v, want the 5 measured algorithms", PaperNames())
+	}
+}
+
+// TestAllAlgorithmsConformance runs every registered algorithm across the
+// full workload matrix and checks schedule validity, topological placement
+// order, determinism, and elementary lower bounds on the makespan.
+func TestAllAlgorithmsConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	gs := []*graph.Graph{
+		workload.PaperExample(),
+		workload.LU(9),
+		workload.Laplace(7),
+		workload.Stencil(5, 6),
+		workload.FFT(8),
+		workload.InTree(4, 2),
+		workload.OutTree(4, 2),
+		workload.ForkJoin(3, 4),
+		workload.Chain(9),
+		workload.Independent(11),
+		workload.GNPDag(rng, 30, 0.2),
+		workload.LayeredRandom(rng, 5, 5, 0.3),
+	}
+	for _, base := range gs {
+		for _, ccr := range []float64{0.2, 5.0} {
+			g := base.Clone()
+			workload.RandomizeWeights(g, rng, nil, ccr)
+			// Comp-only critical path: no schedule can beat it.
+			sl := g.StaticLevels()
+			compCP := 0.0
+			for id := 0; id < g.NumTasks(); id++ {
+				if sl[id] > compCP {
+					compCP = sl[id]
+				}
+			}
+			for _, name := range Names() {
+				a := MustNew(name, 1)
+				for _, p := range []int{1, 3} {
+					sys := machine.NewSystem(p)
+					s, err := a.Schedule(g, sys)
+					if err != nil {
+						t.Fatalf("%s on %s P=%d: %v", name, g.Name, p, err)
+					}
+					if err := s.Validate(); err != nil {
+						t.Fatalf("%s on %s P=%d: %v", name, g.Name, p, err)
+					}
+					if err := s.ValidateListOrder(s.PlacementOrder()); err != nil {
+						t.Fatalf("%s on %s P=%d: %v", name, g.Name, p, err)
+					}
+					mk := s.Makespan()
+					if lower := g.TotalComp() / float64(p); mk < lower-1e-9 {
+						t.Fatalf("%s on %s P=%d: makespan %v below work bound %v", name, g.Name, p, mk, lower)
+					}
+					if mk < compCP-1e-9 {
+						t.Fatalf("%s on %s P=%d: makespan %v below comp CP %v", name, g.Name, p, mk, compCP)
+					}
+					// Determinism.
+					s2, err := a.Schedule(g, sys)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(s2.Makespan()-mk) > 0 {
+						t.Fatalf("%s on %s P=%d: nondeterministic makespan", name, g.Name, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOneStepAlgorithmsBeatNaive: on pure load-balancing input, every
+// algorithm should reach the optimal balanced makespan.
+func TestOneStepAlgorithmsBeatNaive(t *testing.T) {
+	g := workload.Independent(12)
+	for _, name := range Names() {
+		s, err := MustNew(name, 1).Schedule(g, machine.NewSystem(4))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := s.Makespan(); got != 3 {
+			t.Errorf("%s: makespan %v on 12 unit tasks / 4 procs, want 3", name, got)
+		}
+	}
+}

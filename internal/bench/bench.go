@@ -1,0 +1,132 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§5 and §6):
+//
+//   - Table 1 (with Fig. 1): the FLB execution trace on the example graph;
+//   - Fig. 2: scheduling cost (running time) of MCP, ETF, DSC-LLB, FCP and
+//     FLB as a function of the processor count;
+//   - Fig. 3: FLB speedup per problem and CCR;
+//   - Fig. 4: normalized schedule lengths (relative to MCP) per problem,
+//     CCR and processor count;
+//   - a scaling sweep backing the complexity claims (extension).
+//
+// Absolute running times depend on the host CPU (the paper used a Pentium
+// Pro/233); the harness reproduces the *shape*: orderings, ratios and
+// trends. Every experiment is deterministic given Config.BaseSeed.
+package bench
+
+import (
+	"fmt"
+
+	"flb/internal/algo"
+	"flb/internal/algo/registry"
+	"flb/internal/graph"
+	"flb/internal/workload"
+)
+
+// Config parameterizes the experiment suite. The zero value is completed
+// by withDefaults to the paper's setup: V ≈ 2000, CCR ∈ {0.2, 5.0},
+// P ∈ {2,4,8,16,32}, 5 random instances per problem and CCR, problems LU,
+// Laplace and Stencil, the five measured algorithms.
+type Config struct {
+	// TargetV is the approximate task count per instance (paper: 2000).
+	TargetV int
+	// CCRs are the communication-to-computation ratios (paper: 0.2, 5.0).
+	CCRs []float64
+	// Procs are the machine sizes (paper: 2..32).
+	Procs []int
+	// Seeds is the number of random instances per (family, CCR) pair
+	// (paper: 5).
+	Seeds int
+	// Families are the workload family names (paper: lu, laplace, stencil;
+	// fig. 3 discussion adds fft).
+	Families []string
+	// Algorithms are the registry names measured by Fig. 2 and Fig. 4.
+	Algorithms []string
+	// Sampler draws the random weights; nil means Uniform02 (DESIGN.md §5).
+	Sampler workload.Sampler
+	// BaseSeed offsets every instance seed, keeping runs reproducible.
+	BaseSeed int64
+	// Parallel runs the quality experiments (Fig. 3, Fig. 4, robustness)
+	// on GOMAXPROCS workers. Results are identical to the sequential run;
+	// the timing experiments (Fig. 2, scaling) ignore it by design.
+	Parallel bool
+}
+
+// Default returns the paper's configuration.
+func Default() Config { return Config{}.withDefaults() }
+
+// Quick returns a scaled-down configuration (V ≈ 200, 2 seeds, P up to 16)
+// for smoke tests and fast local runs.
+func Quick() Config {
+	return Config{
+		TargetV: 200,
+		Procs:   []int{2, 4, 8, 16},
+		Seeds:   2,
+	}.withDefaults()
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetV == 0 {
+		c.TargetV = 2000
+	}
+	if len(c.CCRs) == 0 {
+		c.CCRs = []float64{0.2, 5.0}
+	}
+	if len(c.Procs) == 0 {
+		c.Procs = []int{2, 4, 8, 16, 32}
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 5
+	}
+	if len(c.Families) == 0 {
+		c.Families = []string{"lu", "laplace", "stencil"}
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = registry.PaperNames()
+	}
+	if c.Sampler == nil {
+		c.Sampler = workload.Uniform02{}
+	}
+	return c
+}
+
+// instance is one randomized workload of the experiment matrix.
+type instance struct {
+	family string
+	ccr    float64
+	seed   int64
+	g      *graph.Graph
+}
+
+// instances generates the full (family × CCR × seed) matrix of cfg,
+// deterministic in cfg.BaseSeed.
+func (c Config) instances() ([]instance, error) {
+	var out []instance
+	for _, fam := range c.Families {
+		for _, ccr := range c.CCRs {
+			for s := 0; s < c.Seeds; s++ {
+				seed := c.BaseSeed + int64(s) + int64(1000*len(out))
+				g, err := workload.Instance(fam, c.TargetV, ccr, c.Sampler, seed)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %w", err)
+				}
+				g.Freeze() // schedulers may share instances across goroutines
+				out = append(out, instance{family: fam, ccr: ccr, seed: seed, g: g})
+			}
+		}
+	}
+	return out, nil
+}
+
+// algorithms resolves cfg.Algorithms through the registry.
+func (c Config) algorithms() ([]algo.Algorithm, error) {
+	out := make([]algo.Algorithm, 0, len(c.Algorithms))
+	for _, name := range c.Algorithms {
+		a, err := registry.New(name, c.BaseSeed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

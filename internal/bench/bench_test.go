@@ -1,0 +1,418 @@
+package bench
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{
+		TargetV:  60,
+		CCRs:     []float64{0.2, 5.0},
+		Procs:    []int{2, 4},
+		Seeds:    1,
+		Families: []string{"lu", "stencil"},
+	}.withDefaults()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Default()
+	if c.TargetV != 2000 || c.Seeds != 5 {
+		t.Errorf("Default = %+v", c)
+	}
+	if len(c.Procs) != 5 || c.Procs[4] != 32 {
+		t.Errorf("Procs = %v", c.Procs)
+	}
+	if len(c.Algorithms) != 5 {
+		t.Errorf("Algorithms = %v", c.Algorithms)
+	}
+	q := Quick()
+	if q.TargetV != 200 || q.Seeds != 2 {
+		t.Errorf("Quick = %+v", q)
+	}
+}
+
+func TestInstancesMatrixAndDeterminism(t *testing.T) {
+	c := tiny()
+	insts, err := c.instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(c.Families) * len(c.CCRs) * c.Seeds; len(insts) != want {
+		t.Fatalf("got %d instances, want %d", len(insts), want)
+	}
+	insts2, err := c.instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if insts[i].g.TextString() != insts2[i].g.TextString() {
+			t.Fatalf("instance %d not deterministic", i)
+		}
+	}
+	// Unknown family propagates an error.
+	bad := c
+	bad.Families = []string{"nope"}
+	if _, err := bad.instances(); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestFig2Smoke(t *testing.T) {
+	r, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Algorithms) != 5 {
+		t.Fatalf("algorithms = %v", r.Algorithms)
+	}
+	for _, a := range r.Algorithms {
+		for _, p := range r.Procs {
+			s := r.Millis[a][p]
+			if s.N == 0 || s.Mean < 0 {
+				t.Errorf("%s P=%d: summary %+v", a, p, s)
+			}
+		}
+	}
+	out := r.Format()
+	for _, want := range []string{"Fig. 2", "FLB", "ETF", "P=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "algorithm,procs,mean_ms") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != 1+len(r.Algorithms)*len(r.Procs) {
+		t.Errorf("CSV has %d lines", got)
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	r, err := Fig3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P=1 is prepended, fft appended.
+	if r.Procs[0] != 1 {
+		t.Errorf("Procs = %v, want leading 1", r.Procs)
+	}
+	foundFFT := false
+	for _, f := range r.Families {
+		if f == "fft" {
+			foundFFT = true
+		}
+	}
+	if !foundFFT {
+		t.Errorf("Families = %v, want fft included", r.Families)
+	}
+	for _, fam := range r.Families {
+		for _, ccr := range r.CCRs {
+			// Speedup at P=1 must be ~1 (single processor runs sequentially).
+			if got := r.Speedup[fam][ccr][1].Mean; got < 0.999 || got > 1.001 {
+				t.Errorf("%s CCR=%g: speedup at P=1 = %v, want 1", fam, ccr, got)
+			}
+			// Speedup never exceeds P.
+			for _, p := range r.Procs {
+				if got := r.Speedup[fam][ccr][p].Mean; got > float64(p)+1e-9 {
+					t.Errorf("%s CCR=%g P=%d: speedup %v exceeds P", fam, ccr, p, got)
+				}
+			}
+		}
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "CCR = 5") {
+		t.Errorf("Format:\n%s", out)
+	}
+	if !strings.HasPrefix(r.CSV(), "family,ccr,procs,mean_speedup") {
+		t.Errorf("CSV:\n%s", r.CSV())
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	r, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range r.Families {
+		for _, ccr := range r.CCRs {
+			for _, p := range r.Procs {
+				cell := r.NSL[fam][ccr][p]
+				// MCP normalizes itself to exactly 1.
+				if got := cell["MCP"].Mean; got != 1 {
+					t.Errorf("%s CCR=%g P=%d: MCP NSL = %v", fam, ccr, p, got)
+				}
+				for name, s := range cell {
+					if s.Mean <= 0 || s.Mean > 10 {
+						t.Errorf("%s CCR=%g P=%d: %s NSL = %v implausible", fam, ccr, p, name, s.Mean)
+					}
+				}
+			}
+		}
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Fig. 4") || !strings.Contains(out, "DSC-LLB") {
+		t.Errorf("Format:\n%s", out)
+	}
+	if !strings.HasPrefix(r.CSV(), "family,ccr,procs,algorithm") {
+		t.Errorf("CSV:\n%s", r.CSV())
+	}
+}
+
+func TestTable1Golden(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 14 {
+		t.Fatalf("makespan = %v, want 14", r.Makespan)
+	}
+	if len(r.Steps) != 8 {
+		t.Fatalf("steps = %d, want 8", len(r.Steps))
+	}
+	out := r.Format()
+	for _, want := range []string{
+		"Table 1",
+		"t3[2;12/3]", // paper row 2 head
+		"t7 -> p0 [12-14]",
+		"makespan 14",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalingSmoke(t *testing.T) {
+	r, err := Scaling([]string{"flb", "etf"}, []int{40, 80}, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Algorithms) != 2 || r.P != 4 {
+		t.Fatalf("result = %+v", r)
+	}
+	out := r.Format()
+	if !strings.Contains(out, "V=80") || !strings.Contains(out, "growth") {
+		t.Errorf("Format:\n%s", out)
+	}
+	// Defaults fill in.
+	if _, err := Scaling(nil, []int{30}, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown algorithm errors.
+	if _, err := Scaling([]string{"zzz"}, []int{30}, 2, 1, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestTableFormatter(t *testing.T) {
+	out := table([]string{"a", "bb"}, [][]string{{"x", "y"}, {"longer", "z"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator missing:\n%s", out)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":     "plain",
+		"a,b":       `"a,b"`,
+		`say "hi"`:  `"say ""hi"""`,
+		"line\nfee": "\"line\nfee\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRobustSmoke(t *testing.T) {
+	r, err := Robust(tiny(), 3, []float64{0, 0.2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.Algorithms {
+		// With zero jitter, self-timed execution reproduces the planned
+		// makespan exactly: slowdown 1.
+		if got := r.Slowdown[a][0].Mean; got < 0.999 || got > 1.001 {
+			t.Errorf("%s: slowdown at eps=0 is %v, want 1", a, got)
+		}
+		// With jitter, slowdown is positive and sane.
+		if got := r.Slowdown[a][0.2].Mean; got < 0.5 || got > 2 {
+			t.Errorf("%s: slowdown at eps=0.2 is %v", a, got)
+		}
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Robustness") || !strings.Contains(out, "eps=0.2") {
+		t.Errorf("Format:\n%s", out)
+	}
+	if !strings.HasPrefix(r.CSV(), "algorithm,eps,mean_slowdown") {
+		t.Errorf("CSV:\n%s", r.CSV())
+	}
+	// Defaults fill in.
+	if _, err := Robust(tiny(), 0, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelMatchesSequential: the worker-pool execution of Fig. 3 and
+// Fig. 4 must produce bit-identical results to the sequential run. Run
+// with -race to also exercise the concurrency safety of frozen graphs.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := tiny()
+	seq4, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := cfg
+	pcfg.Parallel = true
+	par4, err := Fig4(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range seq4.Families {
+		for _, ccr := range seq4.CCRs {
+			for _, p := range seq4.Procs {
+				for _, a := range seq4.Algorithms {
+					if seq4.NSL[fam][ccr][p][a] != par4.NSL[fam][ccr][p][a] {
+						t.Fatalf("Fig4 %s/%g/%d/%s differs between sequential and parallel",
+							fam, ccr, p, a)
+					}
+				}
+			}
+		}
+	}
+	seq3, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par3, err := Fig3(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range seq3.Families {
+		for _, ccr := range seq3.CCRs {
+			for _, p := range seq3.Procs {
+				if seq3.Speedup[fam][ccr][p] != par3.Speedup[fam][ccr][p] {
+					t.Fatalf("Fig3 %s/%g/%d differs between sequential and parallel", fam, ccr, p)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	var calls atomic.Int64
+	err := forEach(10, 4, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return errFake
+		}
+		return nil
+	})
+	if err != errFake {
+		t.Errorf("err = %v", err)
+	}
+	// Sequential path stops at the error; parallel path may complete all.
+	err = forEach(10, 1, func(i int) error {
+		if i == 3 {
+			return errFake
+		}
+		return nil
+	})
+	if err != errFake {
+		t.Errorf("sequential err = %v", err)
+	}
+}
+
+func TestCCRSweepSmoke(t *testing.T) {
+	cfg := tiny()
+	r, err := CCRSweep(cfg, []float64{0.2, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range r.Families {
+		// Coarser granularity must not give *worse* speedup than CCR 5 on
+		// these regular graphs (allow small noise).
+		lo, hi := r.Speedup[fam][0.2].Mean, r.Speedup[fam][5.0].Mean
+		if lo+0.25 < hi {
+			t.Errorf("%s: speedup at CCR 0.2 (%v) well below CCR 5 (%v)", fam, lo, hi)
+		}
+		for _, c := range r.CCRs {
+			if v := r.NSL[fam][c].Mean; v <= 0 || v > 5 {
+				t.Errorf("%s CCR=%g: NSL = %v", fam, c, v)
+			}
+		}
+	}
+	out := r.Format()
+	if !strings.Contains(out, "CCR sweep") || !strings.Contains(out, "NSL vs MCP") {
+		t.Errorf("Format:\n%s", out)
+	}
+	if !strings.HasPrefix(r.CSV(), "family,ccr,procs") {
+		t.Errorf("CSV:\n%s", r.CSV())
+	}
+	// Parallel equals sequential.
+	pcfg := cfg
+	pcfg.Parallel = true
+	r2, err := CCRSweep(pcfg, []float64{0.2, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range r.Families {
+		for _, c := range r.CCRs {
+			if r.Speedup[fam][c] != r2.Speedup[fam][c] {
+				t.Fatalf("parallel CCR sweep differs")
+			}
+		}
+	}
+}
+
+func TestContentionSmoke(t *testing.T) {
+	r, err := Contention(tiny(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.Algorithms {
+		for _, nw := range r.Networks {
+			if v := r.Slowdown[a][nw].Mean; v < 1-1e-9 || v > 50 {
+				t.Errorf("%s/%v slowdown = %v", a, nw, v)
+			}
+		}
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Contention") || !strings.Contains(out, "shared-bus") {
+		t.Errorf("Format:\n%s", out)
+	}
+	if !strings.HasPrefix(r.CSV(), "algorithm,network") {
+		t.Errorf("CSV:\n%s", r.CSV())
+	}
+}
+
+func TestOptimalitySmoke(t *testing.T) {
+	r, err := Optimality(4, 7, 2, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ProvenAll {
+		t.Error("tiny instances should all be provable")
+	}
+	for _, a := range r.Algorithms {
+		s := r.Ratio[a]
+		if s.N != 4 {
+			t.Errorf("%s: n = %d", a, s.N)
+		}
+		if s.Mean < 1-1e-9 {
+			t.Errorf("%s: ratio %v below 1 — heuristic beat the optimum", a, s.Mean)
+		}
+	}
+	if !strings.Contains(r.Format(), "proven optimum") {
+		t.Errorf("Format:\n%s", r.Format())
+	}
+}

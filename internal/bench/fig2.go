@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flb/internal/machine"
+	"flb/internal/stats"
+)
+
+// Fig2Result holds the scheduling-cost measurements of the paper's Fig. 2:
+// the average running time of each algorithm, per processor count,
+// averaged over the whole instance matrix (problems × CCRs × seeds).
+type Fig2Result struct {
+	Config     Config
+	Algorithms []string
+	Procs      []int
+	// Millis[alg][p] summarizes the per-instance scheduling times in
+	// milliseconds.
+	Millis map[string]map[int]stats.Summary
+}
+
+// Fig2 measures scheduling running times. Absolute values depend on the
+// host; the reproduced shape is the *ordering* (ETF ≫ MCP ≫ FLB ≈ FCP,
+// DSC-LLB flat) and the growth trends with P.
+func Fig2(cfg Config) (*Fig2Result, error) {
+	cfg = cfg.withDefaults()
+	insts, err := cfg.instances()
+	if err != nil {
+		return nil, err
+	}
+	algs, err := cfg.algorithms()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{
+		Config: cfg,
+		Procs:  cfg.Procs,
+		Millis: map[string]map[int]stats.Summary{},
+	}
+	for _, a := range algs {
+		res.Algorithms = append(res.Algorithms, a.Name())
+		res.Millis[a.Name()] = map[int]stats.Summary{}
+		for _, p := range cfg.Procs {
+			sys := machine.NewSystem(p)
+			// Untimed warm-up: fault in code paths and caches so the first
+			// timed sample is not an outlier.
+			if _, err := a.Schedule(insts[0].g, sys); err != nil {
+				return nil, fmt.Errorf("bench fig2: warm-up: %w", err)
+			}
+			var samples []float64
+			for _, in := range insts {
+				start := time.Now()
+				s, err := a.Schedule(in.g, sys)
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("bench fig2: %s on %s: %w", a.Name(), in.g.Name, err)
+				}
+				if !s.Complete() {
+					return nil, fmt.Errorf("bench fig2: %s produced incomplete schedule", a.Name())
+				}
+				samples = append(samples, float64(elapsed.Nanoseconds())/1e6)
+			}
+			res.Millis[a.Name()][p] = stats.Summarize(samples)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the Fig. 2 table: algorithms × processor counts, mean
+// scheduling time in milliseconds.
+func (r *Fig2Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — scheduling cost [ms], V≈%d, %d instances per cell\n",
+		r.Config.TargetV, len(r.Config.Families)*len(r.Config.CCRs)*r.Config.Seeds)
+	header := []string{"algorithm"}
+	for _, p := range r.Procs {
+		header = append(header, fmt.Sprintf("P=%d", p))
+	}
+	var rows [][]string
+	for _, a := range r.Algorithms {
+		row := []string{a}
+		for _, p := range r.Procs {
+			row = append(row, f3(r.Millis[a][p].Mean))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values.
+func (r *Fig2Result) CSV() string {
+	rows := [][]string{{"algorithm", "procs", "mean_ms", "std_ms", "min_ms", "max_ms", "n"}}
+	for _, a := range r.Algorithms {
+		for _, p := range r.Procs {
+			s := r.Millis[a][p]
+			rows = append(rows, []string{
+				a, fmt.Sprint(p), f3(s.Mean), f3(s.Std), f3(s.Min), f3(s.Max), fmt.Sprint(s.N),
+			})
+		}
+	}
+	return writeCSV(rows)
+}

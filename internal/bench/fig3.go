@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"flb/internal/core"
+	"flb/internal/machine"
+	"flb/internal/stats"
+)
+
+// Fig3Result holds the FLB speedup curves of the paper's Fig. 3: speedup
+// (sequential time / makespan) per problem family, CCR and processor
+// count, averaged over the random instances.
+type Fig3Result struct {
+	Config   Config
+	Families []string
+	CCRs     []float64
+	Procs    []int
+	// Speedup[family][ccr][p] is the mean speedup.
+	Speedup map[string]map[float64]map[int]stats.Summary
+}
+
+// Fig3 measures FLB's speedup. The paper's Fig. 3 uses P ∈ {1..32}; the
+// configured proc list is extended with P=1 if absent, and the fft family
+// is added when missing (the figure's discussion covers it).
+func Fig3(cfg Config) (*Fig3Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Procs[0] != 1 {
+		cfg.Procs = append([]int{1}, cfg.Procs...)
+	}
+	hasFFT := false
+	for _, f := range cfg.Families {
+		if f == "fft" {
+			hasFFT = true
+		}
+	}
+	if !hasFFT {
+		cfg.Families = append(append([]string(nil), cfg.Families...), "fft")
+	}
+	insts, err := cfg.instances()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{
+		Config:   cfg,
+		Families: cfg.Families,
+		CCRs:     cfg.CCRs,
+		Procs:    cfg.Procs,
+		Speedup:  map[string]map[float64]map[int]stats.Summary{},
+	}
+	flb := core.FLB{}
+	type cellKey struct {
+		fam string
+		ccr float64
+		p   int
+	}
+	var keys []cellKey
+	for _, fam := range cfg.Families {
+		res.Speedup[fam] = map[float64]map[int]stats.Summary{}
+		for _, ccr := range cfg.CCRs {
+			res.Speedup[fam][ccr] = map[int]stats.Summary{}
+			for _, p := range cfg.Procs {
+				keys = append(keys, cellKey{fam, ccr, p})
+			}
+		}
+	}
+	cells := make([]stats.Summary, len(keys))
+	err = forEach(len(keys), workers(cfg.Parallel), func(i int) error {
+		k := keys[i]
+		var samples []float64
+		for _, in := range insts {
+			if in.family != k.fam || in.ccr != k.ccr {
+				continue
+			}
+			s, err := flb.Schedule(in.g, machine.NewSystem(k.p))
+			if err != nil {
+				return fmt.Errorf("bench fig3: %w", err)
+			}
+			samples = append(samples, s.ComputeMetrics().Speedup)
+		}
+		cells[i] = stats.Summarize(samples)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		res.Speedup[k.fam][k.ccr][k.p] = cells[i]
+	}
+	return res, nil
+}
+
+// Format renders one table per CCR: families × processor counts.
+func (r *Fig3Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — FLB speedup, V≈%d, %d instances per cell\n", r.Config.TargetV, r.Config.Seeds)
+	for _, ccr := range r.CCRs {
+		fmt.Fprintf(&b, "\nCCR = %g\n", ccr)
+		header := []string{"family"}
+		for _, p := range r.Procs {
+			header = append(header, fmt.Sprintf("P=%d", p))
+		}
+		var rows [][]string
+		for _, fam := range r.Families {
+			row := []string{fam}
+			for _, p := range r.Procs {
+				row = append(row, f2(r.Speedup[fam][ccr][p].Mean))
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(table(header, rows))
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values.
+func (r *Fig3Result) CSV() string {
+	rows := [][]string{{"family", "ccr", "procs", "mean_speedup", "std", "n"}}
+	for _, fam := range r.Families {
+		for _, ccr := range r.CCRs {
+			for _, p := range r.Procs {
+				s := r.Speedup[fam][ccr][p]
+				rows = append(rows, []string{
+					fam, fmt.Sprint(ccr), fmt.Sprint(p), f3(s.Mean), f3(s.Std), fmt.Sprint(s.N),
+				})
+			}
+		}
+	}
+	return writeCSV(rows)
+}

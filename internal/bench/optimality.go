@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"flb/internal/algo/optimal"
+	"flb/internal/algo/registry"
+	"flb/internal/machine"
+	"flb/internal/stats"
+	"flb/internal/workload"
+)
+
+// OptimalityResult holds the approximation-quality experiment (extension):
+// on tiny random instances where the exact optimum is provable by branch
+// and bound, each algorithm's makespan is divided by the optimum. The
+// paper normalizes against MCP because the optimum is intractable at
+// V=2000; this experiment anchors the whole algorithm ladder to ground
+// truth where it *is* tractable.
+type OptimalityResult struct {
+	Algorithms []string
+	Instances  int
+	V, P       int
+	// Ratio[alg] summarizes makespan/optimum (>= 1 by construction).
+	Ratio map[string]stats.Summary
+	// ProvenAll reports whether every instance's optimum was proven.
+	ProvenAll bool
+}
+
+// Optimality measures approximation ratios on `instances` random DAGs of
+// about v tasks (0 means 9) on p processors (0 means 3).
+func Optimality(instances, v, p int, algs []string, baseSeed int64) (*OptimalityResult, error) {
+	if instances == 0 {
+		instances = 25
+	}
+	if v == 0 {
+		v = 9
+	}
+	if p == 0 {
+		p = 3
+	}
+	if len(algs) == 0 {
+		algs = registry.PaperNames()
+	}
+	res := &OptimalityResult{
+		Algorithms: algs,
+		Instances:  instances,
+		V:          v,
+		P:          p,
+		Ratio:      map[string]stats.Summary{},
+		ProvenAll:  true,
+	}
+	samples := map[string][]float64{}
+	rng := rand.New(rand.NewSource(baseSeed))
+	sys := machine.NewSystem(p)
+	for i := 0; i < instances; i++ {
+		g := workload.GNPDag(rng, v, 0.2+0.3*rng.Float64())
+		workload.RandomizeWeights(g, rng, nil, []float64{0.2, 1, 5}[rng.Intn(3)])
+		opt, err := optimal.Solve(g, sys, 0)
+		if err != nil {
+			return nil, err
+		}
+		if !opt.Proven {
+			res.ProvenAll = false
+			continue
+		}
+		for _, name := range algs {
+			a, err := registry.New(name, baseSeed)
+			if err != nil {
+				return nil, err
+			}
+			s, err := a.Schedule(g, sys)
+			if err != nil {
+				return nil, fmt.Errorf("bench optimality: %s: %w", name, err)
+			}
+			samples[a.Name()] = append(samples[a.Name()], s.Makespan()/opt.Makespan)
+		}
+	}
+	names := map[string]bool{}
+	for i, name := range algs {
+		a, _ := registry.New(name, baseSeed)
+		res.Algorithms[i] = a.Name()
+		if !names[a.Name()] {
+			names[a.Name()] = true
+			res.Ratio[a.Name()] = stats.Summarize(samples[a.Name()])
+		}
+	}
+	return res, nil
+}
+
+// Format renders the approximation-ratio table.
+func (r *OptimalityResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Optimality (extension) — makespan / proven optimum, %d random DAGs (V≈%d, P=%d)\n",
+		r.Instances, r.V, r.P)
+	if !r.ProvenAll {
+		b.WriteString("warning: some instances exceeded the proof budget and were skipped\n")
+	}
+	header := []string{"algorithm", "mean", "max", "n"}
+	var rows [][]string
+	for _, a := range r.Algorithms {
+		s := r.Ratio[a]
+		rows = append(rows, []string{a, f3(s.Mean), f3(s.Max), fmt.Sprint(s.N)})
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The quality experiments (Fig. 3, Fig. 4, robustness) are embarrassingly
+// parallel across (instance, processor-count) cells — only Fig. 2 and the
+// scaling sweep must stay sequential, because they *time* the schedulers.
+// forEach fans work out over a bounded worker pool; results are written
+// into caller-indexed slots, so no synchronization beyond the WaitGroup is
+// needed and output stays deterministic.
+
+// Workers returns the worker count for parallel experiments: GOMAXPROCS,
+// or 1 when parallelism is disabled.
+func workers(parallel bool) int {
+	if !parallel {
+		return 1
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// forEach runs fn(i) for i in [0, n) on `w` workers. fn must only write to
+// per-i state. The first error wins; remaining work still completes (the
+// jobs are cheap relative to coordination and must not leak goroutines).
+func forEach(n, w int, fn func(i int) error) error {
+	if w < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flb/internal/algo/registry"
+	"flb/internal/machine"
+	"flb/internal/stats"
+	"flb/internal/workload"
+)
+
+// ScalingResult backs the paper's complexity claims (§4.2, §6.1) with a
+// parameter sweep: scheduling cost as a function of the task count V at
+// fixed P, for FLB (O(V(log W + log P) + E)), FCP, MCP and ETF
+// (O(W(E+V)P)). FLB's per-task cost should stay near-constant while ETF's
+// grows roughly with V (its W factor) — the asymptotic separation the
+// paper proves.
+type ScalingResult struct {
+	Algorithms []string
+	Sizes      []int
+	P          int
+	// Millis[alg][v] is the measured scheduling time.
+	Millis map[string]map[int]stats.Summary
+}
+
+// Scaling measures scheduling cost on LU instances of growing size at the
+// given processor count. reps instances per size are averaged.
+func Scaling(algNames []string, sizes []int, p, reps int, baseSeed int64) (*ScalingResult, error) {
+	if len(algNames) == 0 {
+		algNames = []string{"flb", "fcp", "mcp", "etf"}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{250, 500, 1000, 2000, 4000}
+	}
+	if p == 0 {
+		p = 8
+	}
+	if reps == 0 {
+		reps = 3
+	}
+	res := &ScalingResult{Sizes: sizes, P: p, Millis: map[string]map[int]stats.Summary{}}
+	sys := machine.NewSystem(p)
+	for _, name := range algNames {
+		a, err := registry.New(name, baseSeed)
+		if err != nil {
+			return nil, err
+		}
+		res.Algorithms = append(res.Algorithms, a.Name())
+		res.Millis[a.Name()] = map[int]stats.Summary{}
+		for _, v := range sizes {
+			var samples []float64
+			for rep := 0; rep < reps+1; rep++ {
+				g, err := workload.Instance("lu", v, 1.0, nil, baseSeed+int64(rep%reps))
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if _, err := a.Schedule(g, sys); err != nil {
+					return nil, fmt.Errorf("bench scaling: %s: %w", a.Name(), err)
+				}
+				if rep == 0 {
+					continue // warm-up, untimed
+				}
+				samples = append(samples, float64(time.Since(start).Nanoseconds())/1e6)
+			}
+			res.Millis[a.Name()][v] = stats.Summarize(samples)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the scaling table with per-size minima (the most
+// noise-robust point statistic for timing) and the growth factor between
+// the smallest and largest size.
+func (r *ScalingResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling — scheduling cost [ms] vs task count, P=%d (LU, CCR=1)\n", r.P)
+	header := []string{"algorithm"}
+	for _, v := range r.Sizes {
+		header = append(header, fmt.Sprintf("V=%d", v))
+	}
+	header = append(header, "growth")
+	var rows [][]string
+	for _, a := range r.Algorithms {
+		row := []string{a}
+		for _, v := range r.Sizes {
+			row = append(row, f3(r.Millis[a][v].Min))
+		}
+		first := r.Millis[a][r.Sizes[0]].Min
+		last := r.Millis[a][r.Sizes[len(r.Sizes)-1]].Min
+		if first > 0 {
+			row = append(row, fmt.Sprintf("x%.1f", last/first))
+		} else {
+			row = append(row, "-")
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}

@@ -1,0 +1,310 @@
+// Package core implements FLB (Fast Load Balancing), the compile-time
+// list-scheduling algorithm of Rădulescu & van Gemund (ICPP 1999) — the
+// primary contribution of the reproduced paper.
+//
+// At each iteration FLB schedules the ready task that can start the
+// earliest, on the processor where that start time is achieved — the same
+// criterion as ETF — in O(V(log W + log P) + E) total time instead of
+// ETF's O(W(E+V)P). The key insight (paper Theorem 3) is that the globally
+// earliest-starting ready task is always one of just two candidates:
+//
+//   - the EP-type task with minimum estimated start time on its enabling
+//     processor (the processor its last message arrives from), and
+//   - the non-EP-type task with minimum last message arrival time, placed
+//     on the processor becoming idle the earliest.
+//
+// A ready task t is of type EP when LMT(t) >= PRT(EP(t)): its last message
+// arrives no earlier than its enabling processor becomes idle, so it
+// starts earliest there (the message cost is zeroed). Otherwise the task
+// cannot start before LMT(t) on any processor, so the earliest-idle
+// processor is optimal.
+//
+// The implementation follows the paper's pseudocode (§4.1): two per-
+// processor heaps of EP tasks (keyed by EMT and LMT respectively), a
+// global heap of non-EP tasks (keyed by LMT), a heap of active processors
+// (keyed by the EST of their best EP task) and a heap of all processors
+// (keyed by PRT). All task-level ties break on larger bottom level — "the
+// task with the longest path to any exit task" — then smaller task ID.
+package core
+
+import (
+	"math"
+
+	"flb/internal/algo"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/pq"
+	"flb/internal/schedule"
+)
+
+// FLB is the Fast Load Balancing scheduler. The zero value is the paper's
+// configuration; the ablation switches disable individual design choices
+// the paper motivates (§4, §6.2) so their contribution can be measured
+// (see BenchmarkAblation* and the tie-breaking discussion in DESIGN.md).
+type FLB struct {
+	// OnStep, when non-nil, is invoked once per scheduling iteration with a
+	// snapshot of the algorithm state *before* the placement plus the
+	// decision taken. It reproduces the paper's Table 1 execution trace.
+	OnStep func(Step)
+
+	// NoBLTieBreak disables the bottom-level tie-breaking ("the task with
+	// the longest path to any exit task", §4.1); ties then fall through to
+	// task IDs. The paper credits FLB's edge over ETF to its dynamic
+	// priorities with this static refinement (§6.2).
+	NoBLTieBreak bool
+
+	// PreferEPOnTie inverts the paper's rule that on equal earliest start
+	// times the non-EP task wins (its communication is already overlapped
+	// with computation, §4.1).
+	PreferEPOnTie bool
+}
+
+// Name implements the Algorithm interface.
+func (f FLB) Name() string {
+	name := "FLB"
+	if f.NoBLTieBreak {
+		name += "-nobl"
+	}
+	if f.PreferEPOnTie {
+		name += "-eptie"
+	}
+	return name
+}
+
+// flbState carries the paper's data structures through one run.
+type flbState struct {
+	g   *graph.Graph
+	sys machine.System
+	s   *schedule.Schedule
+
+	bl       []float64 // static bottom levels, tie-breaking priority
+	noBL     bool      // ablation: ignore bottom levels in tie-breaking
+	preferEP bool      // ablation: prefer the EP candidate on start ties
+
+	// Per ready task, fixed once the task becomes ready:
+	lmt []float64      // last message arrival time
+	emt []float64      // effective message arrival time on the enabling proc
+	ep  []machine.Proc // enabling processor (-1 for entry tasks)
+
+	emtEP  []*pq.Heap // per proc: EP tasks keyed by (EMT, -BL)
+	lmtEP  []*pq.Heap // per proc: EP tasks keyed by (LMT, -BL)
+	nonEP  *pq.Heap   // non-EP tasks keyed by (LMT, -BL)
+	active *pq.Heap   // active procs keyed by (EST of head EP task, -BL(head))
+	all    *pq.Heap   // all procs keyed by (PRT)
+
+	ready *algo.ReadyTracker
+}
+
+// Schedule implements the Algorithm interface.
+func (f FLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	if err := algo.CheckInputs(g, sys); err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	st := &flbState{
+		g:        g,
+		sys:      sys,
+		s:        schedule.New(g, sys),
+		bl:       g.BottomLevels(),
+		lmt:      make([]float64, n),
+		emt:      make([]float64, n),
+		ep:       make([]machine.Proc, n),
+		emtEP:    make([]*pq.Heap, sys.P),
+		lmtEP:    make([]*pq.Heap, sys.P),
+		nonEP:    pq.New(n),
+		ready:    algo.NewReadyTracker(g),
+		noBL:     f.NoBLTieBreak,
+		preferEP: f.PreferEPOnTie,
+	}
+	st.s.Algorithm = f.Name()
+	// A task is enabled by exactly one processor, so the per-processor EP
+	// heaps share one position store per key kind, keeping memory at
+	// O(V + P) instead of O(P*V).
+	emtPos, lmtPos := pq.NewPos(n), pq.NewPos(n)
+	for p := 0; p < sys.P; p++ {
+		st.emtEP[p] = pq.NewShared(emtPos)
+		st.lmtEP[p] = pq.NewShared(lmtPos)
+	}
+	st.active = pq.New(sys.P)
+	st.all = pq.New(sys.P)
+	for p := 0; p < sys.P; p++ {
+		st.all.Push(p, pq.Key{Primary: 0})
+	}
+	// Entry tasks have no enabling processor; they are non-EP with LMT 0.
+	for _, t := range st.ready.Initial() {
+		st.lmt[t] = 0
+		st.emt[t] = 0
+		st.ep[t] = -1
+		st.nonEP.Push(t, pq.Key{Primary: 0, Secondary: st.blKey(t)})
+	}
+
+	for iter := 0; iter < n; iter++ {
+		t, p, est, ok := st.scheduleTask(f.OnStep)
+		if !ok {
+			// Unreachable on a validated DAG: there is always a ready task.
+			panic("core: FLB ran out of ready tasks before scheduling all tasks")
+		}
+		st.s.Place(t, p, est)
+		st.updateTaskLists(p)
+		st.updateProcLists(p)
+		st.updateReadyTasks(t)
+	}
+	return st.s, nil
+}
+
+// estEP returns the estimated start time of EP task t on its enabling
+// processor p.
+func (st *flbState) estEP(t int, p machine.Proc) float64 {
+	return math.Max(st.emt[t], st.s.PRT(p))
+}
+
+// blKey returns the secondary heap key implementing the bottom-level
+// tie-break (negated: larger bottom level first), or 0 under the ablation.
+func (st *flbState) blKey(t int) float64 {
+	if st.noBL {
+		return 0
+	}
+	return -st.bl[t]
+}
+
+// scheduleTask selects and returns the next (task, processor, start time)
+// per the paper's ScheduleTask procedure: it compares the best EP-type
+// pair against the best non-EP-type pair, preferring the non-EP pair on a
+// start-time tie because its communication is already overlapped with
+// computation.
+func (st *flbState) scheduleTask(onStep func(Step)) (task int, proc machine.Proc, est float64, ok bool) {
+	haveEP := false
+	var t1 int
+	var p1 machine.Proc
+	var est1 float64
+	if p, _, found := st.active.Peek(); found {
+		if t, _, found2 := st.emtEP[p].Peek(); found2 {
+			haveEP = true
+			t1, p1 = t, p
+			est1 = st.estEP(t1, p1)
+		}
+	}
+	haveNonEP := false
+	var t2 int
+	var p2 machine.Proc
+	var est2 float64
+	if t, _, found := st.nonEP.Peek(); found {
+		p, _, _ := st.all.Peek()
+		haveNonEP = true
+		t2, p2 = t, p
+		est2 = math.Max(st.lmt[t2], st.s.PRT(p2))
+	}
+
+	epWins := haveEP && (!haveNonEP || est1 < est2 || (st.preferEP && est1 == est2))
+	chooseEP := false
+	switch {
+	case epWins:
+		// The non-EP pair wins start-time ties (unless the PreferEPOnTie
+		// ablation is set), so EP normally requires est1 < est2.
+		task, proc, est, ok = t1, p1, est1, true
+		chooseEP = true
+	case haveNonEP:
+		task, proc, est, ok = t2, p2, est2, true
+	default:
+		return 0, 0, 0, false
+	}
+
+	if onStep != nil {
+		onStep(st.snapshot(task, proc, est))
+	}
+
+	if chooseEP {
+		st.emtEP[p1].Remove(t1)
+		st.lmtEP[p1].Remove(t1)
+	} else {
+		st.nonEP.Remove(task)
+	}
+	return task, proc, est, ok
+}
+
+// updateTaskLists implements the paper's UpdateTaskLists: after p's ready
+// time grew, EP tasks enabled by p whose LMT dropped below PRT(p) no
+// longer satisfy the EP condition and move to the non-EP list. Tasks are
+// tested in LMT order, so the loop stops at the first task still EP.
+func (st *flbState) updateTaskLists(p machine.Proc) {
+	prt := st.s.PRT(p)
+	for {
+		t, _, found := st.lmtEP[p].Peek()
+		if !found || st.lmt[t] >= prt {
+			return
+		}
+		st.lmtEP[p].Remove(t)
+		st.emtEP[p].Remove(t)
+		st.nonEP.Push(t, pq.Key{Primary: st.lmt[t], Secondary: st.blKey(t)})
+	}
+}
+
+// updateProcLists implements the paper's UpdateProcLists: refresh p's
+// priority in (or remove it from) the active-processor list, and refresh
+// its PRT key in the global processor list.
+func (st *flbState) updateProcLists(p machine.Proc) {
+	if t, _, found := st.emtEP[p].Peek(); found {
+		st.active.PushOrUpdate(p, pq.Key{Primary: st.estEP(t, p), Secondary: st.blKey(t)})
+	} else {
+		st.active.Remove(p)
+	}
+	st.all.Update(p, pq.Key{Primary: st.s.PRT(p)})
+}
+
+// updateReadyTasks implements the paper's UpdateReadyTasks: classify every
+// task made ready by t's placement as EP or non-EP and insert it into the
+// corresponding lists, updating the enabling processor's active priority.
+func (st *flbState) updateReadyTasks(t int) {
+	for _, nt := range st.ready.Complete(t) {
+		st.classifyReady(nt)
+	}
+}
+
+// classifyReady computes LMT, EP and EMT for the newly ready task nt and
+// files it into the right list.
+//
+// EMT follows the convention validated against Table 1 (DESIGN.md §5):
+// messages from predecessors on the enabling processor cost their
+// producer's finish time only. Because FT(pred on p) <= PRT(p), the
+// resulting EST = max(EMT, PRT) is identical to the paper's definition.
+func (st *flbState) classifyReady(nt int) {
+	lmt, ep := 0.0, machine.Proc(-1)
+	for _, ei := range st.g.PredEdges(nt) {
+		e := st.g.Edge(ei)
+		arrive := st.s.Finish(e.From) + st.sys.RemoteCost(e.Comm)
+		p := st.s.Proc(e.From)
+		// Last message arrival and its source processor; arrival ties break
+		// toward the smaller processor index (DESIGN.md §5, required to
+		// reproduce Table 1).
+		if arrive > lmt || (arrive == lmt && (ep == -1 || p < ep)) {
+			lmt, ep = arrive, p
+		}
+	}
+	st.lmt[nt] = lmt
+	st.ep[nt] = ep
+
+	prt := st.s.PRT(ep)
+	if lmt < prt {
+		// Non-EP type: it cannot start before LMT anywhere, and the
+		// enabling processor is busy past LMT.
+		st.nonEP.Push(nt, pq.Key{Primary: lmt, Secondary: st.blKey(nt)})
+		return
+	}
+	// EP type: compute the effective message arrival time on ep.
+	emt := 0.0
+	for _, ei := range st.g.PredEdges(nt) {
+		e := st.g.Edge(ei)
+		a := st.s.ArrivalTime(e, ep)
+		if a > emt {
+			emt = a
+		}
+	}
+	st.emt[nt] = emt
+	st.emtEP[ep].Push(nt, pq.Key{Primary: emt, Secondary: st.blKey(nt)})
+	st.lmtEP[ep].Push(nt, pq.Key{Primary: lmt, Secondary: st.blKey(nt)})
+	// The enabling processor may have become active, or its best EP task
+	// may have changed.
+	if head, _, found := st.emtEP[ep].Peek(); found {
+		st.active.PushOrUpdate(ep, pq.Key{Primary: st.estEP(head, ep), Secondary: st.blKey(head)})
+	}
+}

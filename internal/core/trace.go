@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flb/internal/machine"
+)
+
+// TaskView is the trace's snapshot of one queued ready task — the values
+// the paper prints in Table 1.
+type TaskView struct {
+	Task int
+	// EMT is the effective message arrival time on the task's enabling
+	// processor (meaningful for EP-type tasks).
+	EMT float64
+	// LMT is the last message arrival time.
+	LMT float64
+	// BL is the static bottom level (the tie-breaking priority).
+	BL float64
+}
+
+// Step is the trace record of one FLB iteration: the ready lists as they
+// stood when the decision was taken, plus the decision itself. It carries
+// exactly the columns of the paper's Table 1.
+type Step struct {
+	// Iter numbers the iteration from 0.
+	Iter int
+	// EPTasks[p] lists the EP-type tasks enabled by processor p in EMT
+	// order (the order of the paper's EMT_EP_task_l columns).
+	EPTasks [][]TaskView
+	// NonEP lists the non-EP-type tasks in LMT order.
+	NonEP []TaskView
+	// Task, Proc, Start and Finish describe the placement performed.
+	Task   int
+	Proc   machine.Proc
+	Start  float64
+	Finish float64
+}
+
+// snapshot captures the current ready lists and the pending decision.
+func (st *flbState) snapshot(task int, proc machine.Proc, est float64) Step {
+	step := Step{
+		Iter:    st.s.Graph().NumTasks(), // replaced below; placed count works too
+		EPTasks: make([][]TaskView, st.sys.P),
+		Task:    task,
+		Proc:    proc,
+		Start:   est,
+		Finish:  est + st.g.Comp(task),
+	}
+	iter := 0
+	for t := 0; t < st.g.NumTasks(); t++ {
+		if st.s.Assigned(t) {
+			iter++
+		}
+	}
+	step.Iter = iter
+	view := func(t int) TaskView {
+		return TaskView{Task: t, EMT: st.emt[t], LMT: st.lmt[t], BL: st.bl[t]}
+	}
+	for p := 0; p < st.sys.P; p++ {
+		ids := st.emtEP[p].Items()
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := ids[i], ids[j]
+			if st.emt[a] != st.emt[b] {
+				return st.emt[a] < st.emt[b]
+			}
+			if st.bl[a] != st.bl[b] {
+				return st.bl[a] > st.bl[b]
+			}
+			return a < b
+		})
+		for _, t := range ids {
+			step.EPTasks[p] = append(step.EPTasks[p], view(t))
+		}
+	}
+	ids := st.nonEP.Items()
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if st.lmt[a] != st.lmt[b] {
+			return st.lmt[a] < st.lmt[b]
+		}
+		if st.bl[a] != st.bl[b] {
+			return st.bl[a] > st.bl[b]
+		}
+		return a < b
+	})
+	for _, t := range ids {
+		step.NonEP = append(step.NonEP, view(t))
+	}
+	return step
+}
+
+// Collect returns an FLB whose OnStep appends every Step to the returned
+// slice pointer — the convenient way to record a full trace.
+func Collect(steps *[]Step) FLB {
+	return FLB{OnStep: func(s Step) { *steps = append(*steps, s) }}
+}
+
+// FormatTrace renders steps in the layout of the paper's Table 1: one row
+// per iteration with the per-processor EP lists
+// (task[EMT;BL/LMT]), the non-EP list (task[LMT]) and the placement.
+// names maps task IDs to display names (nil means tN).
+func FormatTrace(steps []Step, names func(int) string) string {
+	if names == nil {
+		names = func(t int) string { return fmt.Sprintf("t%d", t) }
+	}
+	var b strings.Builder
+	nprocs := 0
+	if len(steps) > 0 {
+		nprocs = len(steps[0].EPTasks)
+	}
+	for p := 0; p < nprocs; p++ {
+		fmt.Fprintf(&b, "%-28s| ", fmt.Sprintf("EP tasks on p%d", p))
+	}
+	fmt.Fprintf(&b, "%-22s| %s\n", "non-EP tasks", "scheduling")
+	for _, s := range steps {
+		for p := 0; p < nprocs; p++ {
+			var cells []string
+			for _, tv := range s.EPTasks[p] {
+				cells = append(cells, fmt.Sprintf("%s[%g;%g/%g]", names(tv.Task), tv.EMT, tv.BL, tv.LMT))
+			}
+			cell := strings.Join(cells, " ")
+			if cell == "" {
+				cell = "-"
+			}
+			fmt.Fprintf(&b, "%-28s| ", cell)
+		}
+		var cells []string
+		for _, tv := range s.NonEP {
+			cells = append(cells, fmt.Sprintf("%s[%g]", names(tv.Task), tv.LMT))
+		}
+		cell := strings.Join(cells, " ")
+		if cell == "" {
+			cell = "-"
+		}
+		fmt.Fprintf(&b, "%-22s| %s -> p%d [%g-%g]\n", cell, names(s.Task), s.Proc, s.Start, s.Finish)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGranularity(t *testing.T) {
+	g := paperGraph()
+	// t0: comp 2, max adjacent comm 4 -> 0.5; t2: comp 2, max(4,1)=4 -> 0.5.
+	// The global minimum is 2/4 = 0.5.
+	if got := g.Granularity(); got != 0.5 {
+		t.Errorf("Granularity = %v, want 0.5", got)
+	}
+	// No edges: +Inf.
+	g2 := New("")
+	g2.AddTask(1)
+	if got := g2.Granularity(); !math.IsInf(got, 1) {
+		t.Errorf("edgeless granularity = %v", got)
+	}
+	// Zero comp next to communication: 0.
+	g3 := New("")
+	a, b := g3.AddTask(0), g3.AddTask(1)
+	g3.AddEdge(a, b, 2)
+	if got := g3.Granularity(); got != 0 {
+		t.Errorf("zero-comp granularity = %v", got)
+	}
+}
+
+func TestParallelismProfile(t *testing.T) {
+	g := paperGraph()
+	// Layers by longest entry path: t0 | t1,t2,t3 | t4,t5,t6 | t7.
+	got := g.ParallelismProfile()
+	want := []int{1, 3, 3, 1}
+	if len(got) != len(want) {
+		t.Fatalf("profile = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("profile = %v, want %v", got, want)
+		}
+	}
+	// Empty graph: nil profile.
+	if got := New("").ParallelismProfile(); got != nil {
+		t.Errorf("empty profile = %v", got)
+	}
+	sum := 0
+	for _, c := range got {
+		sum += c
+	}
+}
+
+func TestAvgParallelism(t *testing.T) {
+	g := paperGraph()
+	// TotalComp 19, CP 15.
+	if got := g.AvgParallelism(); math.Abs(got-19.0/15) > 1e-12 {
+		t.Errorf("AvgParallelism = %v, want %v", got, 19.0/15)
+	}
+	if got := New("").AvgParallelism(); got != 0 {
+		t.Errorf("empty AvgParallelism = %v", got)
+	}
+	// All-zero-cost tasks: defined as V.
+	gz := New("")
+	gz.AddTask(0)
+	gz.AddTask(0)
+	if got := gz.AvgParallelism(); got != 2 {
+		t.Errorf("zero-cost AvgParallelism = %v", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := paperGraph()
+	st := g.ComputeStats(true)
+	if st.Tasks != 8 || st.Edges != 12 || st.Width != 3 || st.LayerWidth != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.CriticalPath != 15 || st.MaxInDegree != 3 || st.MaxOutDegree != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Cheap mode uses the layer bound for Width.
+	st2 := g.ComputeStats(false)
+	if st2.Width != st2.LayerWidth {
+		t.Errorf("cheap stats Width = %d, LayerWidth = %d", st2.Width, st2.LayerWidth)
+	}
+	out := st.String()
+	for _, want := range []string{"V=8", "E=12", "critical path 15", "width 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileSumsToV(t *testing.T) {
+	for _, g := range []*Graph{paperGraph()} {
+		sum := 0
+		for _, c := range g.ParallelismProfile() {
+			sum += c
+		}
+		if sum != g.NumTasks() {
+			t.Errorf("profile sums to %d, want %d", sum, g.NumTasks())
+		}
+	}
+}

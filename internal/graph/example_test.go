@@ -1,0 +1,55 @@
+package graph_test
+
+import (
+	"fmt"
+	"os"
+
+	"flb/internal/graph"
+)
+
+// Example builds a small DAG and reports its level metrics.
+func Example() {
+	g := graph.New("demo")
+	a := g.AddNamedTask("a", 2)
+	b := g.AddNamedTask("b", 3)
+	c := g.AddNamedTask("c", 1)
+	g.AddEdge(a, b, 4)
+	g.AddEdge(b, c, 1)
+
+	bl := g.BottomLevels()
+	fmt.Println("critical path:", g.CriticalPath())
+	fmt.Println("BL(a):", bl[a])
+	fmt.Println("width:", g.Width())
+	// Output:
+	// critical path: 11
+	// BL(a): 11
+	// width: 1
+}
+
+// ExampleGraph_WriteDOT exports a graph for Graphviz.
+func ExampleGraph_WriteDOT() {
+	g := graph.New("pair")
+	a := g.AddNamedTask("a", 1)
+	b := g.AddNamedTask("b", 2)
+	g.AddEdge(a, b, 3)
+	_ = g.WriteDOT(os.Stdout)
+	// Output:
+	// digraph "pair" {
+	//   rankdir=TB;
+	//   node [shape=circle];
+	//   n0 [label="a\n1"];
+	//   n1 [label="b\n2"];
+	//   n0 -> n1 [label="3"];
+	// }
+}
+
+// ExampleParseText round-trips the native text format.
+func ExampleParseText() {
+	g, err := graph.ParseText("task 0 1\ntask 1 2\nedge 0 1 0.5\n")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.NumTasks(), g.NumEdges(), g.CCR())
+	// Output:
+	// 2 1 0.3333333333333333
+}

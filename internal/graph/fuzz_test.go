@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText checks that the text parser never panics and that every
+// accepted graph is valid and round-trips. Under plain `go test` the seed
+// corpus runs as a unit test; `go test -fuzz=FuzzParseText` explores.
+func FuzzParseText(f *testing.F) {
+	seeds := []string{
+		"",
+		"graph g\ntask 0 1\n",
+		"task 0 1\ntask 1 2\nedge 0 1 3\n",
+		"# only a comment\n",
+		"task 0 1 name\nedge 0 0 1\n",
+		"task 0 -1\n",
+		"garbage here\n",
+		"task 0 1\nedge 0 9 1\n",
+		"task 0 1e309\n",
+		"task 0 NaN\n",
+		"graph a\ntask 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseText(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v\ninput: %q", err, src)
+		}
+		// Round trip: serialize and re-parse; structure must be stable.
+		g2, err := ParseText(g.TextString())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal input: %q", err, src)
+		}
+		if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size: %d/%d -> %d/%d",
+				g.NumTasks(), g.NumEdges(), g2.NumTasks(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzReadSTG mirrors FuzzParseText for the STG parser.
+func FuzzReadSTG(f *testing.F) {
+	seeds := []string{
+		"",
+		"0\n",
+		"1\n0 1 0\n",
+		"2\n0 1 0\n1 2 1 0\n",
+		"2\n0 1 0\n1 2 1 0 5\n",
+		"3\n0 1 0\n1 1 1 0 2\n2 1 1 0\n",
+		"x\n",
+		"2\n0 1 1 1\n1 1 1 0\n",
+		"1\n0 1 99\n",
+		"# comment\n2\n0 1 0\n1 1 1 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ReadSTG(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted STG fails Validate: %v\ninput: %q", err, src)
+		}
+		var b strings.Builder
+		if err := g.WriteSTG(&b); err != nil {
+			t.Fatalf("WriteSTG: %v", err)
+		}
+		g2, err := ReadSTG(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q\nserialized: %q", err, src, b.String())
+		}
+		if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size")
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package graph implements the task-graph model of the FLB paper: a
+// weighted directed acyclic graph G = (V, E) in which nodes are sequential
+// tasks with computation costs and edges are dependencies with
+// communication costs.
+//
+// The package provides construction and validation, topological orders,
+// the classic level metrics (top level, bottom level, ALAP time, critical
+// path), the task-graph width W (both the exact maximum antichain via
+// Dilworth's theorem and a cheap upper bound), and a text serialization
+// format plus Graphviz DOT export.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task is a node of the task graph.
+type Task struct {
+	// ID is the dense index of the task in its Graph, in [0, NumTasks).
+	ID int
+	// Name is an optional human-readable label. Defaults to "tN".
+	Name string
+	// Comp is the computation cost comp(t) >= 0 of executing the task.
+	Comp float64
+}
+
+// Edge is a dependence (From -> To) with communication cost Comm.
+type Edge struct {
+	// From and To are task IDs; the edge means To consumes a message
+	// produced by From.
+	From, To int
+	// Comm is the communication cost comm(From, To) >= 0, paid only when
+	// the two tasks execute on different processors.
+	Comm float64
+}
+
+// Graph is a weighted DAG of tasks. Construct with New, then AddTask and
+// AddEdge. Graphs are cheap to copy shallowly but are treated as immutable
+// by the scheduling algorithms once built.
+type Graph struct {
+	// Name is an optional label for the whole graph (workload family etc.).
+	Name string
+
+	tasks []Task
+	edges []Edge
+
+	// Adjacency, built lazily by Freeze/ensureAdj.
+	succ  [][]int // successor edge indices per task
+	pred  [][]int // predecessor edge indices per task
+	dirty bool
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{Name: name, dirty: true}
+}
+
+// AddTask appends a task with the given computation cost and returns its ID.
+func (g *Graph) AddTask(comp float64) int {
+	id := len(g.tasks)
+	g.tasks = append(g.tasks, Task{ID: id, Name: fmt.Sprintf("t%d", id), Comp: comp})
+	g.dirty = true
+	return id
+}
+
+// AddNamedTask appends a task with an explicit name and returns its ID.
+func (g *Graph) AddNamedTask(name string, comp float64) int {
+	id := g.AddTask(comp)
+	g.tasks[id].Name = name
+	return id
+}
+
+// AddEdge appends a dependence from -> to with the given communication
+// cost. Endpoints must already exist. Cycles and duplicate edges are
+// detected by Validate, not here.
+func (g *Graph) AddEdge(from, to int, comm float64) {
+	if from < 0 || from >= len(g.tasks) || to < 0 || to >= len(g.tasks) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) with %d tasks", from, to, len(g.tasks)))
+	}
+	g.edges = append(g.edges, Edge{From: from, To: to, Comm: comm})
+	g.dirty = true
+}
+
+// NumTasks returns V, the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns E, the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Task returns the task with the given ID.
+func (g *Graph) Task(id int) Task { return g.tasks[id] }
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Comp returns comp(t) for task id.
+func (g *Graph) Comp(id int) float64 { return g.tasks[id].Comp }
+
+// SetComp overwrites comp(t) for task id.
+func (g *Graph) SetComp(id int, c float64) { g.tasks[id].Comp = c }
+
+// SetComm overwrites comm for edge index i.
+func (g *Graph) SetComm(i int, c float64) { g.edges[i].Comm = c }
+
+func (g *Graph) ensureAdj() {
+	if !g.dirty {
+		return
+	}
+	g.succ = make([][]int, len(g.tasks))
+	g.pred = make([][]int, len(g.tasks))
+	for i, e := range g.edges {
+		g.succ[e.From] = append(g.succ[e.From], i)
+		g.pred[e.To] = append(g.pred[e.To], i)
+	}
+	g.dirty = false
+}
+
+// SuccEdges returns the indices of the out-edges of task id. The returned
+// slice must not be modified.
+func (g *Graph) SuccEdges(id int) []int {
+	g.ensureAdj()
+	return g.succ[id]
+}
+
+// PredEdges returns the indices of the in-edges of task id. The returned
+// slice must not be modified.
+func (g *Graph) PredEdges(id int) []int {
+	g.ensureAdj()
+	return g.pred[id]
+}
+
+// OutDegree returns the number of successors of task id.
+func (g *Graph) OutDegree(id int) int { return len(g.SuccEdges(id)) }
+
+// InDegree returns the number of predecessors of task id.
+func (g *Graph) InDegree(id int) int { return len(g.PredEdges(id)) }
+
+// IsEntry reports whether task id has no input edges.
+func (g *Graph) IsEntry(id int) bool { return g.InDegree(id) == 0 }
+
+// IsExit reports whether task id has no output edges.
+func (g *Graph) IsExit(id int) bool { return g.OutDegree(id) == 0 }
+
+// EntryTasks returns the IDs of all entry tasks in increasing order.
+func (g *Graph) EntryTasks() []int {
+	var out []int
+	for id := range g.tasks {
+		if g.IsEntry(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ExitTasks returns the IDs of all exit tasks in increasing order.
+func (g *Graph) ExitTasks() []int {
+	var out []int
+	for id := range g.tasks {
+		if g.IsExit(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TotalComp returns the sum of all computation costs — the sequential
+// execution time of the program, used as the numerator of speedup.
+func (g *Graph) TotalComp() float64 {
+	var s float64
+	for _, t := range g.tasks {
+		s += t.Comp
+	}
+	return s
+}
+
+// TotalComm returns the sum of all communication costs.
+func (g *Graph) TotalComm() float64 {
+	var s float64
+	for _, e := range g.edges {
+		s += e.Comm
+	}
+	return s
+}
+
+// CCR returns the communication-to-computation ratio of the graph: the
+// ratio between its average communication cost and its average computation
+// cost (paper §2). It returns 0 for a graph with no edges and +Inf for a
+// graph whose tasks all have zero cost but which has communication.
+func (g *Graph) CCR() float64 {
+	if len(g.edges) == 0 {
+		return 0
+	}
+	avgComm := g.TotalComm() / float64(len(g.edges))
+	avgComp := g.TotalComp() / float64(len(g.tasks))
+	if avgComp == 0 {
+		if avgComm == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return avgComm / avgComp
+}
+
+// ScaleComm multiplies every communication cost by f.
+func (g *Graph) ScaleComm(f float64) {
+	for i := range g.edges {
+		g.edges[i].Comm *= f
+	}
+}
+
+// SetCCR rescales all communication costs so that CCR() == target.
+// It is a no-op on graphs without edges or without computation.
+func (g *Graph) SetCCR(target float64) {
+	cur := g.CCR()
+	if cur == 0 || math.IsInf(cur, 1) {
+		return
+	}
+	g.ScaleComm(target / cur)
+}
+
+// Freeze builds the lazy adjacency indexes now. A Graph is not safe for
+// concurrent use while those indexes are first materialized; calling
+// Freeze once (after the last AddTask/AddEdge/SetComp/SetComm) makes all
+// read-only methods — and therefore every scheduler in this module —
+// safe to run concurrently on the same graph.
+func (g *Graph) Freeze() { g.ensureAdj() }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	ng := New(g.Name)
+	ng.tasks = append([]Task(nil), g.tasks...)
+	ng.edges = append([]Edge(nil), g.edges...)
+	return ng
+}

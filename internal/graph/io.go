@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text format is line-oriented:
+//
+//	# comment (also after '#' anywhere on a line)
+//	graph <name>
+//	task <id> <comp> [name]
+//	edge <from> <to> <comm>
+//
+// Task IDs must be dense, in increasing order starting at 0 — the format is
+// a faithful dump of the in-memory representation, not a general graph
+// language. WriteText always emits parseable output and ReadText
+// round-trips it.
+
+// WriteText serializes the graph to w in the text format.
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %s\n", sanitizeName(g.Name))
+	for _, t := range g.tasks {
+		fmt.Fprintf(bw, "task %d %g %s\n", t.ID, t.Comp, sanitizeName(t.Name))
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(bw, "edge %d %d %g\n", e.From, e.To, e.Comm)
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '#' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// ReadText parses a graph in the text format. The returned graph is
+// validated.
+func ReadText(r io.Reader) (*Graph, error) {
+	g := New("")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "graph":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph text line %d: want 'graph <name>', got %q", lineNo, line)
+			}
+			if fields[1] != "_" {
+				g.Name = fields[1]
+			}
+		case "task":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("graph text line %d: want 'task <id> <comp> [name]', got %q", lineNo, line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph text line %d: bad task id %q: %w", lineNo, fields[1], err)
+			}
+			comp, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph text line %d: bad comp %q: %w", lineNo, fields[2], err)
+			}
+			if id != g.NumTasks() {
+				return nil, fmt.Errorf("graph text line %d: task ids must be dense and increasing; got %d, want %d", lineNo, id, g.NumTasks())
+			}
+			nid := g.AddTask(comp)
+			if len(fields) == 4 && fields[3] != "_" {
+				g.tasks[nid].Name = fields[3]
+			}
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph text line %d: want 'edge <from> <to> <comm>', got %q", lineNo, line)
+			}
+			from, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph text line %d: bad edge source %q: %w", lineNo, fields[1], err)
+			}
+			to, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph text line %d: bad edge target %q: %w", lineNo, fields[2], err)
+			}
+			comm, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph text line %d: bad comm %q: %w", lineNo, fields[3], err)
+			}
+			if from < 0 || from >= g.NumTasks() || to < 0 || to >= g.NumTasks() {
+				return nil, fmt.Errorf("graph text line %d: edge %d->%d references unknown task", lineNo, from, to)
+			}
+			g.AddEdge(from, to, comm)
+		default:
+			return nil, fmt.Errorf("graph text line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph text: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseText parses a graph from a string; see ReadText.
+func ParseText(s string) (*Graph, error) {
+	return ReadText(strings.NewReader(s))
+}
+
+// TextString serializes the graph to a string; see WriteText.
+func (g *Graph) TextString() string {
+	var b strings.Builder
+	// strings.Builder writes never fail.
+	_ = g.WriteText(&b)
+	return b.String()
+}
+
+// WriteDOT emits the graph in Graphviz DOT format, with computation costs
+// as node labels and communication costs as edge labels.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", dotName(g.Name))
+	fmt.Fprintf(bw, "  rankdir=TB;\n  node [shape=circle];\n")
+	for _, t := range g.tasks {
+		fmt.Fprintf(bw, "  n%d [label=\"%s\\n%g\"];\n", t.ID, t.Name, t.Comp)
+	}
+	// Sort for deterministic output independent of insertion order.
+	edges := append([]Edge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(bw, "  n%d -> n%d [label=\"%g\"];\n", e.From, e.To, e.Comm)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func dotName(s string) string {
+	if s == "" {
+		return "taskgraph"
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBottomLevelsPaperGraph(t *testing.T) {
+	g := paperGraph()
+	// Values cross-checked against the BL column of the paper's Table 1.
+	want := []float64{15, 11, 9, 12, 6, 8, 6, 2}
+	got := g.BottomLevels()
+	for id, w := range want {
+		if got[id] != w {
+			t.Errorf("BL(t%d) = %v, want %v", id, got[id], w)
+		}
+	}
+}
+
+func TestTopLevelsPaperGraph(t *testing.T) {
+	g := paperGraph()
+	got := g.TopLevels()
+	want := []float64{
+		0,                         // t0: entry
+		3,                         // t0(2)+1
+		6,                         // t0(2)+4
+		3,                         // t0(2)+1
+		7,                         // t1 path: 3+2+2
+		7,                         // max(t1: 3+2+1, t3: 3+3+1) = max(6,7)
+		9,                         // max(t1: 3+2+2, t2: 6+2+1) = max(7,9)
+		max3(7+3+1, 7+3+3, 9+2+2), // t7 via t4/t5/t6 = max(11,13,13)=13
+	}
+	for id, w := range want {
+		if got[id] != w {
+			t.Errorf("TL(t%d) = %v, want %v", id, got[id], w)
+		}
+	}
+}
+
+func max3(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }
+
+func TestCriticalPath(t *testing.T) {
+	g := paperGraph()
+	if got, want := g.CriticalPath(), 15.0; got != want {
+		t.Errorf("CriticalPath = %v, want %v", got, want)
+	}
+}
+
+func TestALAPTimes(t *testing.T) {
+	g := paperGraph()
+	alap := g.ALAPTimes()
+	bl := g.BottomLevels()
+	cp := g.CriticalPath()
+	for id := range alap {
+		if want := cp - bl[id]; alap[id] != want {
+			t.Errorf("ALAP(t%d) = %v, want %v", id, alap[id], want)
+		}
+	}
+	if alap[0] != 0 {
+		t.Errorf("ALAP of critical entry task = %v, want 0", alap[0])
+	}
+}
+
+func TestStaticLevelsIgnoreComm(t *testing.T) {
+	g := paperGraph()
+	sl := g.StaticLevels()
+	// Longest comp-only paths: t7=2; t6=4; t5=5; t4=5; t3=8; t2=6; t1=7; t0=10.
+	want := []float64{10, 7, 6, 8, 5, 5, 4, 2}
+	for id, w := range want {
+		if sl[id] != w {
+			t.Errorf("SL(t%d) = %v, want %v", id, sl[id], w)
+		}
+	}
+}
+
+func TestLevelsChain(t *testing.T) {
+	g := New("chain")
+	const n = 5
+	for i := 0; i < n; i++ {
+		g.AddTask(2)
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 3)
+	}
+	bl := g.BottomLevels()
+	tl := g.TopLevels()
+	for i := 0; i < n; i++ {
+		wantBL := 2*float64(n-i) + 3*float64(n-1-i)
+		if bl[i] != wantBL {
+			t.Errorf("chain BL(%d) = %v, want %v", i, bl[i], wantBL)
+		}
+		wantTL := 5 * float64(i)
+		if tl[i] != wantTL {
+			t.Errorf("chain TL(%d) = %v, want %v", i, tl[i], wantTL)
+		}
+	}
+	if got, want := g.CriticalPath(), 2*5+3*4.0; got != want {
+		t.Errorf("chain CP = %v, want %v", got, want)
+	}
+}
+
+// randomDAG builds a layered random DAG for property tests.
+func randomDAG(rng *rand.Rand, n int) *Graph {
+	g := New("rand")
+	for i := 0; i < n; i++ {
+		g.AddTask(1 + rng.Float64()*9)
+	}
+	for to := 1; to < n; to++ {
+		for from := 0; from < to; from++ {
+			if rng.Float64() < 0.15 {
+				g.AddEdge(from, to, rng.Float64()*10)
+			}
+		}
+	}
+	return g
+}
+
+// TestLevelInvariants checks, on random DAGs, the algebraic relations the
+// scheduling algorithms rely on:
+//
+//	TL(t) + BL(t) <= CP, with equality on some path
+//	ALAP(t) >= TL(t)
+//	BL(t) >= comp(t), SL(t) <= BL(t)
+//	BL monotone along edges: BL(u) >= comm(u,v) + BL(v) + comp(u) - ... etc.
+func TestLevelInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 30)
+		bl := g.BottomLevels()
+		tl := g.TopLevels()
+		sl := g.StaticLevels()
+		alap := g.ALAPTimes()
+		cp := g.CriticalPath()
+		const eps = 1e-9
+		sawTight := false
+		for id := 0; id < g.NumTasks(); id++ {
+			if tl[id]+bl[id] > cp+eps {
+				t.Fatalf("trial %d: TL+BL = %v > CP = %v at t%d", trial, tl[id]+bl[id], cp, id)
+			}
+			if math.Abs(tl[id]+bl[id]-cp) < eps {
+				sawTight = true
+			}
+			if alap[id] < tl[id]-eps {
+				t.Fatalf("trial %d: ALAP(%d) = %v < TL = %v", trial, id, alap[id], tl[id])
+			}
+			if bl[id] < g.Comp(id)-eps {
+				t.Fatalf("trial %d: BL(%d) = %v < comp = %v", trial, id, bl[id], g.Comp(id))
+			}
+			if sl[id] > bl[id]+eps {
+				t.Fatalf("trial %d: SL(%d) = %v > BL = %v", trial, id, sl[id], bl[id])
+			}
+		}
+		if !sawTight {
+			t.Fatalf("trial %d: no task on the critical path (TL+BL == CP)", trial)
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(i)
+			if bl[e.From] < g.Comp(e.From)+e.Comm+bl[e.To]-eps {
+				t.Fatalf("trial %d: BL not monotone across edge %d->%d", trial, e.From, e.To)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// STG support: the Standard Task Graph Set format (Kasahara Lab) is the
+// conventional interchange format for task-scheduling benchmarks, so the
+// tools read and write it alongside the native text format.
+//
+// Classic STG lists, after a first line with the task count, one line per
+// task:
+//
+//	<id> <processing time> <npred> <pred1> <pred2> ...
+//
+// and terminates with optional "# ..." comment lines. The classic format
+// carries no communication costs (the STG set targets P|prec|Cmax); this
+// package also accepts and emits the common "weighted" extension in which
+// every predecessor is followed by the communication cost of the edge:
+//
+//	<id> <processing time> <npred> <pred1> <comm1> <pred2> <comm2> ...
+//
+// WriteSTG always emits the weighted form. ReadSTG auto-detects the form
+// from the token count of the first task line with predecessors.
+//
+// STG files conventionally include a zero-cost entry node and exit node;
+// this reader keeps whatever structure the file describes (no nodes are
+// added or removed).
+
+// ReadSTG parses a task graph in STG format (classic or weighted).
+func ReadSTG(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	readLine := func() ([]string, bool) {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			fields := strings.Fields(line)
+			if len(fields) > 0 {
+				return fields, true
+			}
+		}
+		return nil, false
+	}
+
+	head, ok := readLine()
+	if !ok {
+		return nil, fmt.Errorf("graph stg: empty input")
+	}
+	if len(head) != 1 {
+		return nil, fmt.Errorf("graph stg: first line must be the task count, got %q", strings.Join(head, " "))
+	}
+	n, err := strconv.Atoi(head[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph stg: bad task count %q", head[0])
+	}
+
+	g := New("stg")
+	for i := 0; i < n; i++ {
+		g.AddTask(0)
+	}
+	weighted := -1 // unknown until a task with predecessors is seen
+	for i := 0; i < n; i++ {
+		fields, ok := readLine()
+		if !ok {
+			return nil, fmt.Errorf("graph stg: expected %d task lines, got %d", n, i)
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("graph stg: task line %d too short: %q", i, strings.Join(fields, " "))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id != i {
+			return nil, fmt.Errorf("graph stg: task ids must be dense from 0; line %d has id %q", i, fields[0])
+		}
+		comp, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph stg: bad processing time %q on task %d", fields[1], id)
+		}
+		g.SetComp(id, comp)
+		npred, err := strconv.Atoi(fields[2])
+		if err != nil || npred < 0 {
+			return nil, fmt.Errorf("graph stg: bad predecessor count %q on task %d", fields[2], id)
+		}
+		rest := fields[3:]
+		if npred > 0 && weighted == -1 {
+			switch len(rest) {
+			case npred:
+				weighted = 0
+			case 2 * npred:
+				weighted = 1
+			default:
+				return nil, fmt.Errorf("graph stg: task %d has %d predecessor tokens for %d predecessors", id, len(rest), npred)
+			}
+		}
+		want := npred
+		if weighted == 1 {
+			want = 2 * npred
+		}
+		if len(rest) != want {
+			return nil, fmt.Errorf("graph stg: task %d has %d predecessor tokens, want %d", id, len(rest), want)
+		}
+		for j := 0; j < npred; j++ {
+			var predTok, commTok string
+			if weighted == 1 {
+				predTok, commTok = rest[2*j], rest[2*j+1]
+			} else {
+				predTok, commTok = rest[j], "0"
+			}
+			pred, err := strconv.Atoi(predTok)
+			if err != nil || pred < 0 || pred >= n {
+				return nil, fmt.Errorf("graph stg: task %d has bad predecessor %q", id, predTok)
+			}
+			comm, err := strconv.ParseFloat(commTok, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph stg: task %d has bad comm %q", id, commTok)
+			}
+			g.AddEdge(pred, id, comm)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph stg: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteSTG serializes the graph in weighted STG format (every predecessor
+// followed by the edge's communication cost).
+func (g *Graph) WriteSTG(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", g.NumTasks())
+	for id := 0; id < g.NumTasks(); id++ {
+		preds := g.PredEdges(id)
+		fmt.Fprintf(bw, "%d %g %d", id, g.Comp(id), len(preds))
+		for _, ei := range preds {
+			e := g.Edge(ei)
+			fmt.Fprintf(bw, " %d %g", e.From, e.Comm)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintf(bw, "# graph %s, weighted STG written by flb\n", sanitizeName(g.Name))
+	return bw.Flush()
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSTGRoundTrip(t *testing.T) {
+	g := paperGraph()
+	var b strings.Builder
+	if err := g.WriteSTG(&b); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSTG(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ReadSTG: %v\n%s", err, b.String())
+	}
+	if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes changed: %d/%d", g2.NumTasks(), g2.NumEdges())
+	}
+	for id := 0; id < g.NumTasks(); id++ {
+		if g2.Comp(id) != g.Comp(id) {
+			t.Errorf("comp(%d) = %v, want %v", id, g2.Comp(id), g.Comp(id))
+		}
+	}
+	// Same edge multiset (order may differ: STG groups by target).
+	type ek struct {
+		from, to int
+		comm     float64
+	}
+	want := map[ek]int{}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		want[ek{e.From, e.To, e.Comm}]++
+	}
+	for i := 0; i < g2.NumEdges(); i++ {
+		e := g2.Edge(i)
+		want[ek{e.From, e.To, e.Comm}]--
+	}
+	for k, c := range want {
+		if c != 0 {
+			t.Errorf("edge %+v count off by %d", k, c)
+		}
+	}
+}
+
+func TestSTGRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		g := randomDAG(rng, 30)
+		var b strings.Builder
+		if err := g.WriteSTG(&b); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadSTG(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Scheduling-relevant structure is preserved: identical level sets.
+		bl1, bl2 := g.BottomLevels(), g2.BottomLevels()
+		for id := range bl1 {
+			if bl1[id] != bl2[id] {
+				t.Fatalf("trial %d: BL(%d) changed %v -> %v", trial, id, bl1[id], bl2[id])
+			}
+		}
+	}
+}
+
+func TestSTGClassicFormat(t *testing.T) {
+	// Classic (unweighted) STG: predecessors without communication costs.
+	src := `
+4
+0 3 0
+1 2 1 0
+2 4 1 0
+3 1 2 1 2
+# exit
+`
+	g, err := ReadSTG(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("parsed %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i).Comm != 0 {
+			t.Errorf("classic STG edge %d has comm %v, want 0", i, g.Edge(i).Comm)
+		}
+	}
+	if g.Comp(2) != 4 {
+		t.Errorf("comp(2) = %v", g.Comp(2))
+	}
+}
+
+func TestSTGWeightedDetection(t *testing.T) {
+	src := "3\n0 1 0\n1 2 1 0 5\n2 3 2 0 1 1 2\n"
+	g, err := ReadSTG(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Edge 0->1 has comm 5.
+	found := false
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if e.From == 0 && e.To == 1 && e.Comm == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("weighted edge 0->1 (comm 5) not parsed")
+	}
+}
+
+func TestSTGErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"bad count", "x\n"},
+		{"negative count", "-1\n"},
+		{"multi-token head", "3 4\n"},
+		{"missing lines", "2\n0 1 0\n"},
+		{"short line", "1\n0 1\n"},
+		{"bad id", "1\nx 1 0\n"},
+		{"non-dense id", "2\n0 1 0\n5 1 0\n"},
+		{"bad comp", "1\n0 x 0\n"},
+		{"bad npred", "1\n0 1 x\n"},
+		{"negative npred", "1\n0 1 -2\n"},
+		{"token count mismatch", "2\n0 1 0\n1 1 1 0 1 2\n"},
+		{"pred out of range", "2\n0 1 0\n1 1 1 9\n"},
+		{"bad comm", "2\n0 1 0\n1 1 1 0 x\n"},
+		{"cycle", "2\n0 1 1 1\n1 1 1 0\n"},
+		{"inconsistent arity later", "3\n0 1 0\n1 1 1 0 2\n2 1 1 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadSTG(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.src)
+		}
+	}
+}
+
+func TestSTGZeroTasks(t *testing.T) {
+	g, err := ReadSTG(strings.NewReader("0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 0 {
+		t.Errorf("tasks = %d", g.NumTasks())
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCycle is returned when a graph that should be acyclic contains a cycle.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoOrder returns a topological order of the task IDs (Kahn's algorithm,
+// smallest-ID-first among simultaneously available tasks, so the order is
+// deterministic). It returns ErrCycle if the graph has a cycle.
+func (g *Graph) TopoOrder() ([]int, error) {
+	g.ensureAdj()
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	for id := 0; id < n; id++ {
+		indeg[id] = len(g.pred[id])
+	}
+	// A simple FIFO queue keeps the order deterministic; entry tasks are
+	// seeded in increasing ID order.
+	queue := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, ei := range g.succ[id] {
+			to := g.edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Validate checks structural sanity: edge endpoints in range, non-negative
+// weights, no self-loops, no duplicate edges, and acyclicity. It returns a
+// descriptive error for the first violation found.
+func (g *Graph) Validate() error {
+	n := len(g.tasks)
+	seen := make(map[[2]int]bool, len(g.edges))
+	for i, e := range g.edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("graph %q: edge %d (%d->%d) out of range [0,%d)", g.Name, i, e.From, e.To, n)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("graph %q: edge %d is a self-loop on task %d", g.Name, i, e.From)
+		}
+		if e.Comm < 0 {
+			return fmt.Errorf("graph %q: edge %d (%d->%d) has negative comm %v", g.Name, i, e.From, e.To, e.Comm)
+		}
+		key := [2]int{e.From, e.To}
+		if seen[key] {
+			return fmt.Errorf("graph %q: duplicate edge %d->%d", g.Name, e.From, e.To)
+		}
+		seen[key] = true
+	}
+	for id, t := range g.tasks {
+		if t.Comp < 0 {
+			return fmt.Errorf("graph %q: task %d has negative comp %v", g.Name, id, t.Comp)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return fmt.Errorf("graph %q: %w", g.Name, err)
+	}
+	return nil
+}
+
+// MustValidate panics when Validate fails. Intended for workload
+// generators, whose output is a programming error if invalid.
+func (g *Graph) MustValidate() {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+}

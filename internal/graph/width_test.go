@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWidthChain(t *testing.T) {
+	g := New("chain")
+	for i := 0; i < 6; i++ {
+		g.AddTask(1)
+		if i > 0 {
+			g.AddEdge(i-1, i, 1)
+		}
+	}
+	if got := g.Width(); got != 1 {
+		t.Errorf("chain width = %d, want 1", got)
+	}
+	if got := g.LayerWidth(); got != 1 {
+		t.Errorf("chain layer width = %d, want 1", got)
+	}
+}
+
+func TestWidthIndependentTasks(t *testing.T) {
+	g := New("independent")
+	for i := 0; i < 9; i++ {
+		g.AddTask(1)
+	}
+	if got := g.Width(); got != 9 {
+		t.Errorf("independent width = %d, want 9", got)
+	}
+	if got := g.LayerWidth(); got != 9 {
+		t.Errorf("independent layer width = %d, want 9", got)
+	}
+}
+
+func TestWidthForkJoin(t *testing.T) {
+	// 1 source -> k parallel -> 1 sink.
+	const k = 7
+	g := New("forkjoin")
+	src := g.AddTask(1)
+	sink := -1
+	mids := make([]int, k)
+	for i := range mids {
+		mids[i] = g.AddTask(1)
+	}
+	sink = g.AddTask(1)
+	for _, m := range mids {
+		g.AddEdge(src, m, 1)
+		g.AddEdge(m, sink, 1)
+	}
+	if got := g.Width(); got != k {
+		t.Errorf("fork-join width = %d, want %d", got, k)
+	}
+}
+
+func TestWidthPaperGraph(t *testing.T) {
+	g := paperGraph()
+	// Antichain {t1, t2, t3} (or {t2, t4, t5} etc.) has size 3; no four tasks
+	// are pairwise unreachable (verified by the brute force below too).
+	if got := g.Width(); got != 3 {
+		t.Errorf("paper graph width = %d, want 3", got)
+	}
+}
+
+func TestWidthLayeredDiamond(t *testing.T) {
+	// Diamond DAG rotated grid n x n: width is n on the main diagonal.
+	const n = 4
+	g := New("diamond")
+	id := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.AddTask(1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+			if j+1 < n {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+		}
+	}
+	if got := g.Width(); got != n {
+		t.Errorf("diamond width = %d, want %d", got, n)
+	}
+}
+
+// bruteForceWidth enumerates all antichains (exponential; tiny n only).
+func bruteForceWidth(g *Graph) int {
+	n := g.NumTasks()
+	reach := g.Reachability()
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var members []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				members = append(members, i)
+			}
+		}
+		ok := true
+		for i := 0; i < len(members) && ok; i++ {
+			for j := i + 1; j < len(members) && ok; j++ {
+				if Connected(reach, members[i], members[j]) {
+					ok = false
+				}
+			}
+		}
+		if ok && len(members) > best {
+			best = len(members)
+		}
+	}
+	return best
+}
+
+func TestWidthAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(9) // up to 10 tasks: 1024 subsets
+		g := New("rand")
+		for i := 0; i < n; i++ {
+			g.AddTask(1)
+		}
+		for to := 1; to < n; to++ {
+			for from := 0; from < to; from++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(from, to, 1)
+				}
+			}
+		}
+		want := bruteForceWidth(g)
+		if got := g.Width(); got != want {
+			t.Fatalf("trial %d (n=%d): Width = %d, brute force = %d\n%s",
+				trial, n, got, want, g.TextString())
+		}
+		if lw := g.LayerWidth(); lw > want {
+			t.Fatalf("trial %d: LayerWidth %d exceeds true width %d", trial, lw, want)
+		}
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := paperGraph()
+	reach := g.Reachability()
+	if !reach[0].Has(7) {
+		t.Error("t7 should be reachable from t0")
+	}
+	if reach[7].Count() != 0 {
+		t.Error("exit task should reach nothing")
+	}
+	if reach[1].Has(2) || reach[2].Has(1) {
+		t.Error("t1 and t2 should be unconnected")
+	}
+	if !Connected(reach, 0, 7) || Connected(reach, 1, 2) {
+		t.Error("Connected helper wrong")
+	}
+	if got := reach[0].Count(); got != 7 {
+		t.Errorf("t0 reaches %d tasks, want 7", got)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	if b.Count() != 4 {
+		t.Errorf("count = %d, want 4", b.Count())
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("forEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forEach visited %v, want %v", got, want)
+		}
+	}
+	if b.Has(1) || !b.Has(64) {
+		t.Error("has() wrong")
+	}
+	c := NewBitset(130)
+	c.Set(5)
+	c.Or(b)
+	if c.Count() != 5 || !c.Has(129) {
+		t.Error("or() wrong")
+	}
+}
+
+func BenchmarkWidthV200(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomDAG(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Width()
+	}
+}

@@ -1,0 +1,97 @@
+// Package machine models the target distributed-memory system of the FLB
+// paper: a set of P homogeneous processors connected in a clique topology
+// with contention-free inter-processor communication (paper §2).
+//
+// The CommModel interface generalizes the paper's cost model (the raw edge
+// weight between distinct processors, zero within a processor) so that the
+// examples can also explore a latency/bandwidth network without touching
+// the schedulers.
+package machine
+
+import "fmt"
+
+// Proc identifies a processor, in [0, P).
+type Proc = int
+
+// CommModel converts an edge's communication weight into a delay for a
+// message from processor `from` to processor `to`.
+type CommModel interface {
+	// Cost returns the communication delay of a message with weight w sent
+	// from processor from to processor to. Implementations must return 0
+	// when from == to (intra-processor communication is free, paper §2).
+	Cost(w float64, from, to Proc) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Clique is the paper's model: cost is the raw edge weight between distinct
+// processors and zero within a processor.
+type Clique struct{}
+
+// Cost implements CommModel.
+func (Clique) Cost(w float64, from, to Proc) float64 {
+	if from == to {
+		return 0
+	}
+	return w
+}
+
+// Name implements CommModel.
+func (Clique) Name() string { return "clique" }
+
+// LatencyBandwidth is an extension model: cost = Latency + w/Bandwidth
+// between distinct processors. It exercises the same scheduler code paths
+// with a more realistic network, and is used by the pipeline example.
+type LatencyBandwidth struct {
+	Latency   float64 // fixed per-message start-up cost
+	Bandwidth float64 // weight units per time unit; must be > 0
+}
+
+// Cost implements CommModel.
+func (m LatencyBandwidth) Cost(w float64, from, to Proc) float64 {
+	if from == to {
+		return 0
+	}
+	return m.Latency + w/m.Bandwidth
+}
+
+// Name implements CommModel.
+func (m LatencyBandwidth) Name() string {
+	return fmt.Sprintf("latency=%g,bandwidth=%g", m.Latency, m.Bandwidth)
+}
+
+// System describes the target machine.
+type System struct {
+	// P is the number of processors; must be >= 1.
+	P int
+	// Comm is the communication model; nil means Clique.
+	Comm CommModel
+}
+
+// NewSystem returns a P-processor clique system.
+func NewSystem(p int) System { return System{P: p, Comm: Clique{}} }
+
+// Validate reports configuration errors.
+func (s System) Validate() error {
+	if s.P < 1 {
+		return fmt.Errorf("machine: P = %d, want >= 1", s.P)
+	}
+	return nil
+}
+
+// CommCost returns the delay of a message with weight w from processor
+// from to processor to under the system's model.
+func (s System) CommCost(w float64, from, to Proc) float64 {
+	if s.Comm == nil {
+		return Clique{}.Cost(w, from, to)
+	}
+	return s.Comm.Cost(w, from, to)
+}
+
+// RemoteCost returns the delay of a message with weight w between two
+// *distinct* processors. The paper's machine model is homogeneous (§2), so
+// the cost of a remote message does not depend on which two processors are
+// involved; this is what the LMT computation needs.
+func (s System) RemoteCost(w float64) float64 {
+	return s.CommCost(w, 0, -1)
+}

@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCliqueCost(t *testing.T) {
+	c := Clique{}
+	if got := c.Cost(5, 0, 0); got != 0 {
+		t.Errorf("same-proc cost = %v, want 0", got)
+	}
+	if got := c.Cost(5, 0, 1); got != 5 {
+		t.Errorf("cross-proc cost = %v, want 5", got)
+	}
+	if c.Name() != "clique" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestCliqueSymmetryProperty(t *testing.T) {
+	// The clique is homogeneous: cost depends only on whether procs differ.
+	prop := func(w float64, a, b uint8) bool {
+		if w < 0 {
+			w = -w
+		}
+		c := Clique{}
+		return c.Cost(w, int(a), int(b)) == c.Cost(w, int(b), int(a))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyBandwidth(t *testing.T) {
+	m := LatencyBandwidth{Latency: 2, Bandwidth: 4}
+	if got := m.Cost(8, 1, 1); got != 0 {
+		t.Errorf("same-proc cost = %v, want 0", got)
+	}
+	if got, want := m.Cost(8, 0, 1), 2+8.0/4; got != want {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	if !strings.Contains(m.Name(), "latency=2") {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestSystem(t *testing.T) {
+	s := NewSystem(4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CommCost(3, 0, 2); got != 3 {
+		t.Errorf("CommCost = %v, want 3", got)
+	}
+	if got := s.CommCost(3, 2, 2); got != 0 {
+		t.Errorf("CommCost same proc = %v, want 0", got)
+	}
+	// nil Comm falls back to Clique.
+	s2 := System{P: 2}
+	if got := s2.CommCost(3, 0, 1); got != 3 {
+		t.Errorf("nil-model CommCost = %v, want 3", got)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	for _, p := range []int{0, -3} {
+		if err := (System{P: p}).Validate(); err == nil {
+			t.Errorf("Validate accepted P=%d", p)
+		}
+	}
+}

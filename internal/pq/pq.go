@@ -1,0 +1,235 @@
+// Package pq provides indexed binary min-heaps used by the scheduling
+// algorithms in this module.
+//
+// The paper's pseudocode manipulates sorted lists through four operations:
+// Enqueue, Dequeue (pop the head), RemoveItem (delete by identity) and
+// BalanceList (re-establish order after a priority change). An indexed
+// binary heap supports all four in O(log n), which is exactly what the
+// complexity analysis of FLB assumes. Items are identified by small
+// non-negative integer ids (task ids or processor ids), so the position
+// index is a dense slice rather than a map.
+package pq
+
+// Key is a lexicographic priority: smaller keys are dequeued first.
+//
+// Primary holds the main sort key (EMT, LMT, EST or PRT depending on the
+// list). Secondary implements the paper's tie-breaking rule "select the task
+// with the longest path to any exit task": callers store the *negated*
+// bottom level so that larger bottom levels sort first. Remaining ties fall
+// back to the item id, making every heap fully deterministic.
+type Key struct {
+	Primary   float64
+	Secondary float64
+}
+
+// Less reports whether k should be dequeued before other, with id/otherID
+// as the final deterministic tie-break.
+func (k Key) Less(id int, other Key, otherID int) bool {
+	if k.Primary != other.Primary {
+		return k.Primary < other.Primary
+	}
+	if k.Secondary != other.Secondary {
+		return k.Secondary < other.Secondary
+	}
+	return id < otherID
+}
+
+type entry struct {
+	id  int
+	key Key
+}
+
+// Heap is an indexed binary min-heap over items with dense integer ids in
+// [0, capacity). The zero value is not usable; construct with New.
+type Heap struct {
+	items []entry
+	// pos[id] is the index of id in items, or -1 if id is not enqueued.
+	pos []int
+}
+
+// New returns an empty heap able to hold ids in [0, capacity).
+func New(capacity int) *Heap {
+	return NewShared(NewPos(capacity))
+}
+
+// NewPos returns a position store for ids in [0, capacity), for use with
+// NewShared.
+func NewPos(capacity int) []int {
+	pos := make([]int, capacity)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return pos
+}
+
+// NewShared returns an empty heap using the caller-provided position
+// store. Several heaps may share one store as long as any given id is
+// enqueued in at most one of them at a time — exactly the situation of
+// FLB's per-processor EP task lists, where a task belongs to one enabling
+// processor. Sharing reduces the memory for P per-processor heaps over V
+// tasks from O(P*V) to O(V + P).
+func NewShared(pos []int) *Heap {
+	return &Heap{pos: pos}
+}
+
+// Len returns the number of enqueued items.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Empty reports whether the heap holds no items.
+func (h *Heap) Empty() bool { return len(h.items) == 0 }
+
+// indexOf returns id's index in this heap, or -1. With a shared position
+// store, pos[id] may refer to a sibling heap's slot; the items check
+// filters that out.
+func (h *Heap) indexOf(id int) int {
+	p := h.pos[id]
+	if p < 0 || p >= len(h.items) || h.items[p].id != id {
+		return -1
+	}
+	return p
+}
+
+// Contains reports whether id is currently enqueued in this heap.
+func (h *Heap) Contains(id int) bool { return h.indexOf(id) >= 0 }
+
+// Key returns the current key of id. It panics if id is not enqueued.
+func (h *Heap) Key(id int) Key {
+	p := h.indexOf(id)
+	if p < 0 {
+		panic("pq: Key of item not in heap")
+	}
+	return h.items[p].key
+}
+
+// Push inserts id with the given key. It panics if id is already enqueued;
+// use Update to change an existing key.
+func (h *Heap) Push(id int, key Key) {
+	if h.indexOf(id) >= 0 {
+		panic("pq: Push of item already in heap")
+	}
+	h.items = append(h.items, entry{id: id, key: key})
+	h.pos[id] = len(h.items) - 1
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the id and key of the minimum item without removing it.
+// ok is false when the heap is empty.
+func (h *Heap) Peek() (id int, key Key, ok bool) {
+	if len(h.items) == 0 {
+		return 0, Key{}, false
+	}
+	return h.items[0].id, h.items[0].key, true
+}
+
+// Pop removes and returns the minimum item. ok is false when the heap is
+// empty.
+func (h *Heap) Pop() (id int, key Key, ok bool) {
+	if len(h.items) == 0 {
+		return 0, Key{}, false
+	}
+	top := h.items[0]
+	h.removeAt(0)
+	return top.id, top.key, true
+}
+
+// Remove deletes id from the heap if present and reports whether it was.
+func (h *Heap) Remove(id int) bool {
+	p := h.indexOf(id)
+	if p < 0 {
+		return false
+	}
+	h.removeAt(p)
+	return true
+}
+
+// Update changes the key of id, restoring heap order (the paper's
+// BalanceList). It panics if id is not enqueued.
+func (h *Heap) Update(id int, key Key) {
+	p := h.indexOf(id)
+	if p < 0 {
+		panic("pq: Update of item not in heap")
+	}
+	h.items[p].key = key
+	if !h.up(p) {
+		h.down(p)
+	}
+}
+
+// PushOrUpdate inserts id or, if already present, changes its key.
+func (h *Heap) PushOrUpdate(id int, key Key) {
+	if h.indexOf(id) >= 0 {
+		h.Update(id, key)
+		return
+	}
+	h.Push(id, key)
+}
+
+// Items returns the ids currently enqueued, in unspecified order. It is
+// used by trace instrumentation to dump list contents; callers sort by Key.
+func (h *Heap) Items() []int {
+	out := make([]int, len(h.items))
+	for i, it := range h.items {
+		out[i] = it.id
+	}
+	return out
+}
+
+func (h *Heap) removeAt(p int) {
+	last := len(h.items) - 1
+	h.pos[h.items[p].id] = -1
+	if p != last {
+		h.items[p] = h.items[last]
+		h.pos[h.items[p].id] = p
+	}
+	h.items = h.items[:last]
+	if p < len(h.items) {
+		if !h.up(p) {
+			h.down(p)
+		}
+	}
+}
+
+func (h *Heap) less(i, j int) bool {
+	return h.items[i].key.Less(h.items[i].id, h.items[j].key, h.items[j].id)
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].id] = i
+	h.pos[h.items[j].id] = j
+}
+
+// up sifts the item at index i toward the root and reports whether it moved.
+func (h *Heap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down sifts the item at index i toward the leaves.
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

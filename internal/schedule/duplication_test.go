@@ -1,0 +1,144 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+)
+
+// dupFixture: src feeding two consumers on different processors, with a
+// duplicate of src on p1.
+func dupFixture() (*graph.Graph, *Schedule) {
+	g := graph.New("dup")
+	src := g.AddNamedTask("src", 1)
+	a := g.AddNamedTask("a", 2)
+	b := g.AddNamedTask("b", 2)
+	g.AddEdge(src, a, 10)
+	g.AddEdge(src, b, 10)
+	s := New(g, machine.NewSystem(2))
+	s.Algorithm = "dup-fixture"
+	s.Place(src, 0, 0)
+	s.Place(a, 0, 1)
+	s.PlaceCopy(src, 1, 0) // duplicate copy of src on p1
+	s.Place(b, 1, 1)       // b reads the local copy: start 1, not 11
+	return g, s
+}
+
+func TestPlaceCopyAndValidateDup(t *testing.T) {
+	_, s := dupFixture()
+	if !s.HasDuplicates() {
+		t.Fatal("HasDuplicates = false")
+	}
+	if err := s.Validate(); err != nil { // delegates to ValidateDup
+		t.Fatal(err)
+	}
+	copies := s.Copies(0)
+	if len(copies) != 2 {
+		t.Fatalf("Copies(src) = %d", len(copies))
+	}
+	if copies[0].Proc != 0 || copies[1].Proc != 1 {
+		t.Errorf("copies = %+v", copies)
+	}
+	// PRT of p1 includes the copy.
+	if got := s.PRT(1); got != 3 {
+		t.Errorf("PRT(1) = %v", got)
+	}
+}
+
+func TestValidateDupCatchesViolations(t *testing.T) {
+	// b starting before even the local copy finishes.
+	g := graph.New("bad")
+	src := g.AddTask(2)
+	b := g.AddTask(1)
+	g.AddEdge(src, b, 10)
+	s := New(g, machine.NewSystem(2))
+	s.Place(src, 0, 0)
+	s.PlaceCopy(src, 1, 0)
+	s.Place(b, 1, 1) // local copy finishes at 2
+	if err := s.Validate(); err == nil {
+		t.Error("start before local copy finish accepted")
+	}
+
+	// Overlapping copy on the same processor.
+	s2 := New(g, machine.NewSystem(2))
+	s2.Place(src, 0, 0)
+	s2.PlaceCopy(src, 0, 1) // overlaps the primary [0,2)
+	s2.Place(b, 0, 3)
+	if err := s2.Validate(); err == nil {
+		t.Error("overlapping duplicate accepted")
+	}
+}
+
+func TestBestArrivalUsesNearestCopy(t *testing.T) {
+	g, s := dupFixture()
+	e := g.Edge(0) // src -> a
+	// On p1 the local copy (finish 1) beats the remote original (1 + 10).
+	if got := s.BestArrival(e, 1); got != 1 {
+		t.Errorf("BestArrival on p1 = %v, want 1", got)
+	}
+	// On p0 the primary is local.
+	if got := s.BestArrival(e, 0); got != 1 {
+		t.Errorf("BestArrival on p0 = %v, want 1", got)
+	}
+	if got := s.DataReadyDup(2, 1); got != 1 {
+		t.Errorf("DataReadyDup(b, p1) = %v, want 1", got)
+	}
+}
+
+func TestPlaceCopyPanics(t *testing.T) {
+	g := graph.New("x")
+	g.AddTask(1)
+	s := New(g, machine.NewSystem(1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PlaceCopy before primary did not panic")
+			}
+		}()
+		s.PlaceCopy(0, 0, 0)
+	}()
+	s.Place(0, 0, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PlaceCopy on bad proc did not panic")
+			}
+		}()
+		s.PlaceCopy(0, 5, 0)
+	}()
+}
+
+func TestCopiesUnplaced(t *testing.T) {
+	g := graph.New("x")
+	g.AddTask(1)
+	s := New(g, machine.NewSystem(1))
+	if got := s.Copies(0); got != nil {
+		t.Errorf("Copies of unplaced task = %v", got)
+	}
+}
+
+func TestGanttShowsDuplicates(t *testing.T) {
+	_, s := dupFixture()
+	out := s.Gantt(60)
+	if !strings.Contains(out, "+") {
+		t.Errorf("Gantt missing duplicate marker:\n%s", out)
+	}
+}
+
+func TestCloneCopiesDuplicates(t *testing.T) {
+	_, s := dupFixture()
+	c := s.Clone()
+	if !c.HasDuplicates() {
+		t.Fatal("clone lost duplicates")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Independent: adding a copy to the clone must not affect the original.
+	c.PlaceCopy(0, 0, 10)
+	if len(s.Copies(0)) != 2 {
+		t.Error("clone shares duplicate storage with original")
+	}
+}

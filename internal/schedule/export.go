@@ -1,0 +1,136 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonSchedule is the serialized form of a complete schedule.
+type jsonSchedule struct {
+	Algorithm string     `json:"algorithm"`
+	Graph     string     `json:"graph"`
+	Procs     int        `json:"procs"`
+	Makespan  float64    `json:"makespan"`
+	Tasks     []jsonTask `json:"tasks"`
+}
+
+type jsonTask struct {
+	ID     int     `json:"id"`
+	Name   string  `json:"name"`
+	Proc   int     `json:"proc"`
+	Start  float64 `json:"start"`
+	Finish float64 `json:"finish"`
+}
+
+// WriteJSON serializes the schedule as JSON: metadata plus one record per
+// task, sorted by (processor, start) for stable output.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	js := jsonSchedule{
+		Algorithm: s.Algorithm,
+		Graph:     s.g.Name,
+		Procs:     s.sys.P,
+		Makespan:  s.Makespan(),
+	}
+	for t := 0; t < s.g.NumTasks(); t++ {
+		if !s.Assigned(t) {
+			return fmt.Errorf("schedule: WriteJSON of incomplete schedule (task %d unassigned)", t)
+		}
+		js.Tasks = append(js.Tasks, jsonTask{
+			ID:     t,
+			Name:   s.g.Task(t).Name,
+			Proc:   s.proc[t],
+			Start:  s.start[t],
+			Finish: s.finish[t],
+		})
+	}
+	sort.Slice(js.Tasks, func(i, j int) bool {
+		if js.Tasks[i].Proc != js.Tasks[j].Proc {
+			return js.Tasks[i].Proc < js.Tasks[j].Proc
+		}
+		if js.Tasks[i].Start != js.Tasks[j].Start {
+			return js.Tasks[i].Start < js.Tasks[j].Start
+		}
+		return js.Tasks[i].ID < js.Tasks[j].ID
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// WriteSVG renders the schedule as an SVG Gantt chart: one horizontal lane
+// per processor, one rectangle per task, labelled where space permits.
+func (s *Schedule) WriteSVG(w io.Writer, width int) error {
+	if width < 100 {
+		width = 100
+	}
+	const (
+		laneH   = 28
+		gap     = 6
+		leftPad = 46
+		topPad  = 28
+	)
+	mk := s.Makespan()
+	if mk == 0 {
+		mk = 1
+	}
+	plotW := float64(width - leftPad - 10)
+	scale := plotW / mk
+	height := topPad + s.sys.P*(laneH+gap) + 10
+
+	var palette = []string{
+		"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+		"#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+	}
+
+	pr := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := pr("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" font-family=\"monospace\" font-size=\"11\">\n", width, height); err != nil {
+		return err
+	}
+	_ = pr("<text x=\"%d\" y=\"16\">%s on %d processors — makespan %g</text>\n",
+		leftPad, xmlEscape(s.Algorithm+" / "+s.g.Name), s.sys.P, s.Makespan())
+	for p := 0; p < s.sys.P; p++ {
+		y := topPad + p*(laneH+gap)
+		_ = pr("<text x=\"4\" y=\"%d\">P%d</text>\n", y+laneH/2+4, p)
+		_ = pr("<rect x=\"%d\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"#f0f0f0\"/>\n",
+			leftPad, y, plotW, laneH)
+		for _, t := range s.order[p] {
+			x := float64(leftPad) + s.start[t]*scale
+			wRect := (s.finish[t] - s.start[t]) * scale
+			if wRect < 1 {
+				wRect = 1
+			}
+			color := palette[t%len(palette)]
+			_ = pr("<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\" stroke=\"#333\"><title>%s [%g-%g] on P%d</title></rect>\n",
+				x, y+2, wRect, laneH-4, color, xmlEscape(s.g.Task(t).Name), s.start[t], s.finish[t], p)
+			if name := s.g.Task(t).Name; wRect > float64(7*len(name)+4) {
+				_ = pr("<text x=\"%.1f\" y=\"%d\" fill=\"#fff\">%s</text>\n",
+					x+3, y+laneH/2+4, xmlEscape(name))
+			}
+		}
+	}
+	return pr("</svg>\n")
+}
+
+func xmlEscape(s string) string {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

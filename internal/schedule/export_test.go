@@ -1,0 +1,99 @@
+package schedule
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flb/internal/machine"
+)
+
+func TestWriteJSON(t *testing.T) {
+	s := paperSchedule(fig1())
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Algorithm string  `json:"algorithm"`
+		Graph     string  `json:"graph"`
+		Procs     int     `json:"procs"`
+		Makespan  float64 `json:"makespan"`
+		Tasks     []struct {
+			ID     int     `json:"id"`
+			Proc   int     `json:"proc"`
+			Start  float64 `json:"start"`
+			Finish float64 `json:"finish"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if decoded.Algorithm != "paper-table1" || decoded.Procs != 2 || decoded.Makespan != 14 {
+		t.Errorf("metadata = %+v", decoded)
+	}
+	if len(decoded.Tasks) != 8 {
+		t.Fatalf("tasks = %d", len(decoded.Tasks))
+	}
+	// Sorted by (proc, start): first record is t0 on p0 at 0.
+	if decoded.Tasks[0].ID != 0 || decoded.Tasks[0].Proc != 0 || decoded.Tasks[0].Start != 0 {
+		t.Errorf("first record = %+v", decoded.Tasks[0])
+	}
+	// Last record on p0 block boundary: p1 tasks follow p0 tasks.
+	sawP1 := false
+	for _, task := range decoded.Tasks {
+		if task.Proc == 1 {
+			sawP1 = true
+		} else if sawP1 {
+			t.Fatal("records not sorted by processor")
+		}
+	}
+}
+
+func TestWriteJSONIncomplete(t *testing.T) {
+	s := New(fig1(), machine.NewSystem(1))
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err == nil {
+		t.Error("incomplete schedule serialized")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	s := paperSchedule(fig1())
+	var b strings.Builder
+	if err := s.WriteSVG(&b, 640); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "P0", "P1", "makespan 14", "<rect",
+		"<title>t0 [0-2] on P0</title>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Tiny width is clamped.
+	var b2 strings.Builder
+	if err := s.WriteSVG(&b2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "width=\"100\"") {
+		t.Error("width not clamped")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}
+
+func TestWriteSVGEmptySchedule(t *testing.T) {
+	g := fig1()
+	s := New(g, machine.NewSystem(2))
+	var b strings.Builder
+	if err := s.WriteSVG(&b, 300); err != nil {
+		t.Fatal(err) // empty (makespan 0) must not divide by zero
+	}
+}

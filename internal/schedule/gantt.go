@@ -1,0 +1,81 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the schedule as an ASCII Gantt chart, one row per
+// processor, `width` character cells across the makespan. Tasks are drawn
+// with their name when it fits, '#' otherwise; idle time is '.'.
+func (s *Schedule) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	mk := s.Makespan()
+	if mk == 0 {
+		mk = 1
+	}
+	scale := float64(width) / mk
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule %q on %d processors, makespan %g\n", s.Algorithm, s.sys.P, s.Makespan())
+	for p := 0; p < s.sys.P; p++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		draw := func(start, finish float64, label string, fill byte) {
+			lo := int(start * scale)
+			hi := int(finish * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = fill
+			}
+			if hi-lo >= len(label)+2 {
+				copy(row[lo+1:], label)
+			}
+		}
+		for _, t := range s.order[p] {
+			draw(s.start[t], s.finish[t], s.g.Task(t).Name, '#')
+		}
+		// Duplicate copies are drawn with '+' to distinguish them.
+		for t, cs := range s.dups {
+			for _, c := range cs {
+				if c.Proc == p {
+					draw(c.Start, c.Finish, s.g.Task(t).Name, '+')
+				}
+			}
+		}
+		fmt.Fprintf(&b, "P%-2d |%s|\n", p, row)
+	}
+	return b.String()
+}
+
+// Table renders the schedule as a per-task table sorted by start time, the
+// same information as the "Scheduling" column of the paper's Table 1.
+func (s *Schedule) Table() string {
+	ids := make([]int, 0, s.g.NumTasks())
+	for t := 0; t < s.g.NumTasks(); t++ {
+		if s.Assigned(t) {
+			ids = append(ids, t)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if s.start[ids[i]] != s.start[ids[j]] {
+			return s.start[ids[i]] < s.start[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-5s %-10s %-10s\n", "task", "proc", "start", "finish")
+	for _, t := range ids {
+		fmt.Fprintf(&b, "%-8s p%-4d %-10g %-10g\n", s.g.Task(t).Name, s.proc[t], s.start[t], s.finish[t])
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+// Package schedule represents the output of the scheduling algorithms: an
+// assignment of every task to a processor, a start time and a finish time
+// (paper §2), together with validation, quality metrics and rendering.
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+)
+
+// Unassigned marks a task that has not been scheduled yet.
+const Unassigned = -1
+
+// Schedule is a (partial or complete) schedule of a task graph on a system.
+// Create with New and fill with Place; algorithms place every task exactly
+// once and never retract a placement (all the paper's algorithms are
+// non-backtracking and non-duplicating).
+type Schedule struct {
+	// Algorithm records which scheduler produced the schedule.
+	Algorithm string
+
+	g   *graph.Graph
+	sys machine.System
+
+	proc   []machine.Proc // per task; Unassigned if not placed
+	start  []float64
+	finish []float64
+
+	// order[p] lists the tasks placed on processor p in placement order,
+	// which for the algorithms here is also non-decreasing start order.
+	order [][]int
+
+	prt    []float64 // processor ready times
+	placed int
+	seq    []int // global placement order
+
+	// Duplication (see duplication.go): extra copies per task.
+	dups map[int][]Copy
+}
+
+// New returns an empty schedule for g on sys.
+func New(g *graph.Graph, sys machine.System) *Schedule {
+	if err := sys.Validate(); err != nil {
+		panic(err)
+	}
+	n := g.NumTasks()
+	s := &Schedule{
+		g:      g,
+		sys:    sys,
+		proc:   make([]machine.Proc, n),
+		start:  make([]float64, n),
+		finish: make([]float64, n),
+		order:  make([][]int, sys.P),
+		prt:    make([]float64, sys.P),
+	}
+	for i := range s.proc {
+		s.proc[i] = Unassigned
+	}
+	return s
+}
+
+// Graph returns the scheduled task graph.
+func (s *Schedule) Graph() *graph.Graph { return s.g }
+
+// System returns the target system.
+func (s *Schedule) System() machine.System { return s.sys }
+
+// NumProcs returns P.
+func (s *Schedule) NumProcs() int { return s.sys.P }
+
+// Place schedules task t on processor p at start time st. It panics on
+// double placement or an out-of-range processor — both are algorithm bugs,
+// not user errors.
+func (s *Schedule) Place(t int, p machine.Proc, st float64) {
+	if s.proc[t] != Unassigned {
+		panic(fmt.Sprintf("schedule: task %d placed twice", t))
+	}
+	if p < 0 || p >= s.sys.P {
+		panic(fmt.Sprintf("schedule: processor %d out of range [0,%d)", p, s.sys.P))
+	}
+	s.proc[t] = p
+	s.start[t] = st
+	s.finish[t] = st + s.g.Comp(t)
+	s.order[p] = append(s.order[p], t)
+	if s.finish[t] > s.prt[p] {
+		s.prt[p] = s.finish[t]
+	}
+	s.seq = append(s.seq, t)
+	s.placed++
+}
+
+// PlacementOrder returns the tasks in the order they were placed. The
+// returned slice must not be modified. For the list schedulers in this
+// module, placement order is a topological order of the graph.
+func (s *Schedule) PlacementOrder() []int { return s.seq }
+
+// Assigned reports whether task t has been placed.
+func (s *Schedule) Assigned(t int) bool { return s.proc[t] != Unassigned }
+
+// Complete reports whether every task has been placed.
+func (s *Schedule) Complete() bool { return s.placed == s.g.NumTasks() }
+
+// Proc returns PROC(t). Valid only when Assigned(t).
+func (s *Schedule) Proc(t int) machine.Proc { return s.proc[t] }
+
+// Start returns ST(t). Valid only when Assigned(t).
+func (s *Schedule) Start(t int) float64 { return s.start[t] }
+
+// Finish returns FT(t). Valid only when Assigned(t).
+func (s *Schedule) Finish(t int) float64 { return s.finish[t] }
+
+// PRT returns the processor ready time of p: the finish time of the last
+// task scheduled on it (paper §2), 0 if p is empty.
+func (s *Schedule) PRT(p machine.Proc) float64 { return s.prt[p] }
+
+// MinPRTProc returns the processor becoming idle the earliest, breaking
+// ties toward the smaller index.
+func (s *Schedule) MinPRTProc() machine.Proc {
+	best := 0
+	for p := 1; p < s.sys.P; p++ {
+		if s.prt[p] < s.prt[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// TasksOn returns the tasks placed on p in placement order. The returned
+// slice must not be modified.
+func (s *Schedule) TasksOn(p machine.Proc) []int { return s.order[p] }
+
+// Makespan returns the parallel completion time Tpar = max PRT (paper §2).
+func (s *Schedule) Makespan() float64 {
+	var m float64
+	for _, v := range s.prt {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArrivalTime returns the time at which the message carried by edge e is
+// available on processor p, i.e. FT(e.From) plus the communication delay
+// under the system's model. The producer must already be placed.
+func (s *Schedule) ArrivalTime(e graph.Edge, p machine.Proc) float64 {
+	return s.finish[e.From] + s.sys.CommCost(e.Comm, s.proc[e.From], p)
+}
+
+// DataReady returns EMT(t, p): the earliest time all of t's messages are
+// available on processor p, assuming all predecessors are placed. For an
+// entry task it is 0.
+func (s *Schedule) DataReady(t int, p machine.Proc) float64 {
+	var ready float64
+	for _, ei := range s.g.PredEdges(t) {
+		if a := s.ArrivalTime(s.g.Edge(ei), p); a > ready {
+			ready = a
+		}
+	}
+	return ready
+}
+
+// EST returns max(EMT(t,p), PRT(p)): the estimated start time of ready
+// task t when appended to processor p (paper §2).
+func (s *Schedule) EST(t int, p machine.Proc) float64 {
+	return math.Max(s.DataReady(t, p), s.prt[p])
+}
+
+// Clone returns a deep copy of the schedule (sharing the immutable graph).
+func (s *Schedule) Clone() *Schedule {
+	ns := &Schedule{
+		Algorithm: s.Algorithm,
+		g:         s.g,
+		sys:       s.sys,
+		proc:      append([]machine.Proc(nil), s.proc...),
+		start:     append([]float64(nil), s.start...),
+		finish:    append([]float64(nil), s.finish...),
+		order:     make([][]int, len(s.order)),
+		prt:       append([]float64(nil), s.prt...),
+		placed:    s.placed,
+		seq:       append([]int(nil), s.seq...),
+	}
+	for p := range s.order {
+		ns.order[p] = append([]int(nil), s.order[p]...)
+	}
+	if s.dups != nil {
+		ns.dups = make(map[int][]Copy, len(s.dups))
+		for t, cs := range s.dups {
+			ns.dups[t] = append([]Copy(nil), cs...)
+		}
+	}
+	return ns
+}

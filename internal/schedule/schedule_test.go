@@ -1,0 +1,296 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+)
+
+// fig1 builds the paper's example graph (see DESIGN.md §4).
+func fig1() *graph.Graph {
+	g := graph.New("fig1")
+	for _, c := range []float64{2, 2, 2, 3, 3, 3, 2, 2} {
+		g.AddTask(c)
+	}
+	edges := [][3]float64{
+		{0, 1, 1}, {0, 2, 4}, {0, 3, 1}, {0, 4, 3},
+		{1, 4, 2}, {1, 5, 1}, {3, 5, 1}, {1, 6, 2}, {2, 6, 1},
+		{4, 7, 1}, {5, 7, 3}, {6, 7, 2},
+	}
+	for _, e := range edges {
+		g.AddEdge(int(e[0]), int(e[1]), e[2])
+	}
+	return g
+}
+
+// paperSchedule places fig1's tasks exactly as the paper's Table 1 does.
+func paperSchedule(g *graph.Graph) *Schedule {
+	s := New(g, machine.NewSystem(2))
+	s.Algorithm = "paper-table1"
+	s.Place(0, 0, 0)
+	s.Place(3, 0, 2)
+	s.Place(1, 1, 3)
+	s.Place(2, 0, 5)
+	s.Place(4, 1, 5)
+	s.Place(5, 0, 7)
+	s.Place(6, 1, 8)
+	s.Place(7, 0, 12)
+	return s
+}
+
+func TestPlaceAndAccessors(t *testing.T) {
+	g := fig1()
+	s := paperSchedule(g)
+	if !s.Complete() {
+		t.Fatal("schedule not complete")
+	}
+	if s.Proc(3) != 0 || s.Start(3) != 2 || s.Finish(3) != 5 {
+		t.Errorf("task 3 = (p%d, %v, %v)", s.Proc(3), s.Start(3), s.Finish(3))
+	}
+	if got := s.PRT(0); got != 14 {
+		t.Errorf("PRT(0) = %v, want 14", got)
+	}
+	if got := s.PRT(1); got != 10 {
+		t.Errorf("PRT(1) = %v, want 10", got)
+	}
+	if got := s.Makespan(); got != 14 {
+		t.Errorf("Makespan = %v, want 14", got)
+	}
+	if got := s.TasksOn(0); len(got) != 5 {
+		t.Errorf("TasksOn(0) = %v", got)
+	}
+	if s.NumProcs() != 2 {
+		t.Errorf("NumProcs = %d", s.NumProcs())
+	}
+}
+
+func TestPaperScheduleValid(t *testing.T) {
+	s := paperSchedule(fig1())
+	if err := s.Validate(); err != nil {
+		t.Fatalf("the paper's own schedule failed validation: %v", err)
+	}
+}
+
+func TestESTAndDataReady(t *testing.T) {
+	g := fig1()
+	s := New(g, machine.NewSystem(2))
+	s.Place(0, 0, 0)
+	// t2's only pred t0 is on p0: on p0 data ready = FT(t0) = 2; on p1 it is
+	// FT + comm = 2 + 4 = 6.
+	if got := s.DataReady(2, 0); got != 2 {
+		t.Errorf("DataReady(t2, p0) = %v, want 2", got)
+	}
+	if got := s.DataReady(2, 1); got != 6 {
+		t.Errorf("DataReady(t2, p1) = %v, want 6", got)
+	}
+	if got := s.EST(2, 0); got != 2 { // PRT(p0) = 2
+		t.Errorf("EST(t2, p0) = %v, want 2", got)
+	}
+	if got := s.EST(2, 1); got != 6 { // PRT(p1) = 0
+		t.Errorf("EST(t2, p1) = %v, want 6", got)
+	}
+	// Entry task on an empty processor.
+	if got := s.DataReady(0, 1); got != 0 {
+		t.Errorf("DataReady(entry) = %v, want 0", got)
+	}
+}
+
+func TestMinPRTProc(t *testing.T) {
+	g := fig1()
+	s := New(g, machine.NewSystem(3))
+	if got := s.MinPRTProc(); got != 0 {
+		t.Errorf("empty MinPRTProc = %d, want 0 (tie to smallest)", got)
+	}
+	s.Place(0, 0, 0)
+	s.Place(1, 2, 0)
+	if got := s.MinPRTProc(); got != 1 {
+		t.Errorf("MinPRTProc = %d, want 1", got)
+	}
+}
+
+func TestDoublePlacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double Place did not panic")
+		}
+	}()
+	s := New(fig1(), machine.NewSystem(1))
+	s.Place(0, 0, 0)
+	s.Place(0, 0, 5)
+}
+
+func TestPlaceBadProcPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Place on bad processor did not panic")
+		}
+	}()
+	s := New(fig1(), machine.NewSystem(1))
+	s.Place(0, 1, 0)
+}
+
+func TestNewBadSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with P=0 did not panic")
+		}
+	}()
+	New(fig1(), machine.System{P: 0})
+}
+
+func TestValidateIncomplete(t *testing.T) {
+	s := New(fig1(), machine.NewSystem(2))
+	s.Place(0, 0, 0)
+	if err := s.Validate(); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+}
+
+func TestValidateOverlap(t *testing.T) {
+	g := graph.New("two")
+	g.AddTask(5)
+	g.AddTask(5)
+	s := New(g, machine.NewSystem(1))
+	s.Place(0, 0, 0)
+	s.Place(1, 0, 3) // overlaps [0,5)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("overlap not detected: %v", err)
+	}
+}
+
+func TestValidateCommViolation(t *testing.T) {
+	g := graph.New("pair")
+	g.AddTask(1)
+	g.AddTask(1)
+	g.AddEdge(0, 1, 10)
+	s := New(g, machine.NewSystem(2))
+	s.Place(0, 0, 0)
+	s.Place(1, 1, 2) // message arrives at 1 + 10 = 11
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "arrives") {
+		t.Errorf("communication violation not detected: %v", err)
+	}
+	// Same placement on one processor is fine: comm is zeroed.
+	s2 := New(g, machine.NewSystem(2))
+	s2.Place(0, 0, 0)
+	s2.Place(1, 0, 1)
+	if err := s2.Validate(); err != nil {
+		t.Errorf("same-proc schedule rejected: %v", err)
+	}
+}
+
+func TestValidateNegativeStart(t *testing.T) {
+	g := graph.New("one")
+	g.AddTask(1)
+	s := New(g, machine.NewSystem(1))
+	s.Place(0, 0, -2)
+	if err := s.Validate(); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestValidateListOrder(t *testing.T) {
+	g := fig1()
+	s := paperSchedule(g)
+	good := []int{0, 3, 1, 2, 4, 5, 6, 7}
+	if err := s.ValidateListOrder(good); err != nil {
+		t.Errorf("valid placement order rejected: %v", err)
+	}
+	bad := []int{1, 0, 3, 2, 4, 5, 6, 7} // t1 before its pred t0
+	if err := s.ValidateListOrder(bad); err == nil {
+		t.Error("invalid placement order accepted")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	s := paperSchedule(fig1())
+	m := s.ComputeMetrics()
+	if m.Makespan != 14 || m.SeqTime != 19 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if math.Abs(m.Speedup-19.0/14) > 1e-12 {
+		t.Errorf("Speedup = %v", m.Speedup)
+	}
+	if math.Abs(m.Efficiency-19.0/14/2) > 1e-12 {
+		t.Errorf("Efficiency = %v", m.Efficiency)
+	}
+	if math.Abs(m.SLR-14.0/15) > 1e-12 {
+		t.Errorf("SLR = %v", m.SLR)
+	}
+	if math.Abs(m.Idle-(14*2-19)) > 1e-12 {
+		t.Errorf("Idle = %v", m.Idle)
+	}
+	if m.Algorithm != "paper-table1" || m.Procs != 2 {
+		t.Errorf("metadata = %+v", m)
+	}
+}
+
+func TestNSL(t *testing.T) {
+	if got := NSL(12, 10); got != 1.2 {
+		t.Errorf("NSL = %v", got)
+	}
+	if got := NSL(0, 0); got != 1 {
+		t.Errorf("NSL(0,0) = %v", got)
+	}
+	if got := NSL(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("NSL(5,0) = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := paperSchedule(fig1())
+	c := s.Clone()
+	if c.Makespan() != s.Makespan() || c.Algorithm != s.Algorithm {
+		t.Fatal("clone differs")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	// Mutating the clone must not affect the original's per-proc lists.
+	c.order[0] = nil
+	if len(s.TasksOn(0)) != 5 {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	s := paperSchedule(fig1())
+	out := s.Gantt(70)
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Errorf("Gantt missing processor rows:\n%s", out)
+	}
+	if !strings.Contains(out, "makespan 14") {
+		t.Errorf("Gantt missing makespan:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("Gantt missing bars or idle cells:\n%s", out)
+	}
+	// Tiny width is clamped, not broken.
+	if out := s.Gantt(1); !strings.Contains(out, "P0") {
+		t.Errorf("Gantt with tiny width broken:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	g := graph.New("none")
+	s := New(g, machine.NewSystem(1))
+	if out := s.Gantt(20); !strings.Contains(out, "makespan 0") {
+		t.Errorf("empty Gantt:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	s := paperSchedule(fig1())
+	out := s.Table()
+	for _, want := range []string{"t0", "t7", "p0", "p1", "12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table missing %q:\n%s", want, out)
+		}
+	}
+	// Rows sorted by start time: t0 line appears before t7 line.
+	if strings.Index(out, "t0 ") > strings.Index(out, "t7 ") {
+		t.Errorf("Table not sorted by start:\n%s", out)
+	}
+}

@@ -1,0 +1,191 @@
+// Package sim is an event-driven execution simulator for static schedules.
+//
+// The paper's algorithms are compile-time schedulers: they fix, before
+// execution, each task's processor and the per-processor execution order,
+// using *estimated* computation and communication costs. At run time the
+// actual costs deviate from the estimates. This package executes a
+// schedule under such deviations: task order and placement stay as
+// scheduled (the usual self-timed execution of a static schedule), but
+// start times are determined dynamically by actual task completions and
+// message arrivals. It answers the question the paper's evaluation leaves
+// open — how robust are the produced schedules to misestimation? — and is
+// used by the robustness experiment in internal/bench.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flb/internal/schedule"
+)
+
+// procChain returns processor p's tasks ordered by planned start time —
+// the execution sequence the self-timed run preserves. For the append-only
+// schedulers this equals placement order; insertion-based placement (MCP
+// with Insertion) may place out of order, so the chain is sorted.
+func procChain(s *schedule.Schedule, p int) []int {
+	tasks := append([]int(nil), s.TasksOn(p)...)
+	sort.Slice(tasks, func(i, j int) bool { return s.Start(tasks[i]) < s.Start(tasks[j]) })
+	return tasks
+}
+
+// Perturb maps an estimated cost to an actual cost. Implementations must
+// return non-negative values.
+type Perturb func(estimated float64) float64
+
+// Exact returns the estimate unchanged — simulating with Exact must
+// reproduce the schedule's own start times exactly (self-timed execution
+// of a feasible list schedule never reorders).
+func Exact() Perturb {
+	return func(est float64) float64 { return est }
+}
+
+// UniformJitter scales each cost by a factor drawn uniformly from
+// [1-eps, 1+eps]. eps must be in [0, 1].
+func UniformJitter(rng *rand.Rand, eps float64) Perturb {
+	if eps < 0 || eps > 1 {
+		panic(fmt.Sprintf("sim: UniformJitter eps = %v, want [0,1]", eps))
+	}
+	return func(est float64) float64 {
+		return est * (1 - eps + 2*eps*rng.Float64())
+	}
+}
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	// Makespan is the actual parallel completion time.
+	Makespan float64
+	// Start and Finish are the actual per-task times.
+	Start, Finish []float64
+	// Utilization is the fraction of the makespan each processor spent
+	// computing.
+	Utilization []float64
+}
+
+// Run executes schedule s: tasks run on their assigned processors in the
+// scheduled per-processor order; each task starts when the previous task
+// on its processor has finished and all its messages have arrived, with
+// actual computation costs comp(t) -> perturbComp(comp(t)) and message
+// delays comm -> perturbComm(comm) (zero stays zero: intra-processor
+// messages are free regardless of perturbation).
+//
+// The simulation is a longest-path computation over the union of the
+// precedence edges and the per-processor chains, evaluated in a combined
+// topological order. Deadlock is impossible: the scheduled order is a
+// linear extension of the precedence order (guaranteed by the list
+// schedulers; validated here, returning an error otherwise).
+func Run(s *schedule.Schedule, perturbComp, perturbComm Perturb) (*Result, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("sim: schedule is incomplete")
+	}
+	if s.HasDuplicates() {
+		return nil, fmt.Errorf("sim: duplicated schedules are not supported (self-timed semantics of redundant copies are ambiguous)")
+	}
+	if perturbComp == nil {
+		perturbComp = Exact()
+	}
+	if perturbComm == nil {
+		perturbComm = Exact()
+	}
+	g := s.Graph()
+	sys := s.System()
+	n := g.NumTasks()
+
+	// Actual costs, drawn once per task/edge.
+	comp := make([]float64, n)
+	for t := 0; t < n; t++ {
+		comp[t] = perturbComp(g.Comp(t))
+		if comp[t] < 0 || math.IsNaN(comp[t]) {
+			return nil, fmt.Errorf("sim: perturbed comp(%d) = %v", t, comp[t])
+		}
+	}
+	comm := make([]float64, g.NumEdges())
+	for i := range comm {
+		comm[i] = perturbComm(g.Edge(i).Comm)
+		if comm[i] < 0 || math.IsNaN(comm[i]) {
+			return nil, fmt.Errorf("sim: perturbed comm(%d) = %v", i, comm[i])
+		}
+	}
+
+	// Dependency counting over precedence edges + processor-chain edges.
+	pending := make([]int, n)
+	prevOnProc := make([]int, n) // predecessor in the processor chain, -1
+	nextOnProc := make([]int, n) // successor in the processor chain, -1
+	for t := range prevOnProc {
+		prevOnProc[t] = -1
+		nextOnProc[t] = -1
+		pending[t] = g.InDegree(t)
+	}
+	for p := 0; p < sys.P; p++ {
+		tasks := procChain(s, p)
+		for i := 1; i < len(tasks); i++ {
+			prevOnProc[tasks[i]] = tasks[i-1]
+			nextOnProc[tasks[i-1]] = tasks[i]
+			pending[tasks[i]]++
+		}
+	}
+
+	res := &Result{
+		Start:       make([]float64, n),
+		Finish:      make([]float64, n),
+		Utilization: make([]float64, sys.P),
+	}
+	queue := make([]int, 0, n)
+	for t := 0; t < n; t++ {
+		if pending[t] == 0 {
+			queue = append(queue, t)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		done++
+		start := 0.0
+		if pt := prevOnProc[t]; pt >= 0 {
+			start = res.Finish[pt]
+		}
+		for _, ei := range g.PredEdges(t) {
+			e := g.Edge(ei)
+			arrive := res.Finish[e.From]
+			if s.Proc(e.From) != s.Proc(t) {
+				arrive += sys.CommCost(comm[ei], s.Proc(e.From), s.Proc(t))
+			}
+			if arrive > start {
+				start = arrive
+			}
+		}
+		res.Start[t] = start
+		res.Finish[t] = start + comp[t]
+		if res.Finish[t] > res.Makespan {
+			res.Makespan = res.Finish[t]
+		}
+		res.Utilization[s.Proc(t)] += comp[t]
+		// Release dependents: precedence successors and the next task in
+		// the processor chain.
+		for _, ei := range g.SuccEdges(t) {
+			to := g.Edge(ei).To
+			pending[to]--
+			if pending[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+		if nt := nextOnProc[t]; nt >= 0 {
+			pending[nt]--
+			if pending[nt] == 0 {
+				queue = append(queue, nt)
+			}
+		}
+	}
+	if done != n {
+		return nil, fmt.Errorf("sim: deadlock — processor order conflicts with precedence (%d of %d tasks ran)", done, n)
+	}
+	if res.Makespan > 0 {
+		for p := range res.Utilization {
+			res.Utilization[p] /= res.Makespan
+		}
+	}
+	return res, nil
+}

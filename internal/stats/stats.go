@@ -1,0 +1,98 @@
+// Package stats provides the small set of descriptive statistics the
+// benchmark harness reports (means, dispersion, extrema).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs, or 0 for fewer than
+// two samples.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// CV returns the coefficient of variation Std/Mean, or 0 when the mean is 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Std(xs) / m
+}
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary bundles the descriptive statistics of one sample set.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  Std(xs),
+		Min:  Min(xs),
+		Max:  Max(xs),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.2g min=%.4g max=%.4g", s.N, s.Mean, s.Std, s.Min, s.Max)
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"flb/internal/graph"
+)
+
+// Cholesky returns the task graph of a tiled Cholesky factorization of an
+// n x n tile matrix with the classic four kernels: POTRF (diagonal
+// factorization), TRSM (panel solve), SYRK (diagonal update) and GEMM
+// (off-diagonal update). Relative kernel costs follow the usual flop
+// ratios (POTRF 1, TRSM 3, SYRK 3, GEMM 6 per tile). The graph has
+// n + n(n-1) + n(n-1)(n+1)/6-ish tasks — denser and join-heavier than LU,
+// extending the workload set beyond the paper's three families.
+func Cholesky(n int) *graph.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: Cholesky(%d), want n >= 1", n))
+	}
+	g := graph.New(fmt.Sprintf("cholesky-%d", n))
+	// tile[i][j] (i >= j) holds the id of the task that last wrote tile
+	// (i, j); dependencies chain through it.
+	last := make([][]int, n)
+	for i := range last {
+		last[i] = make([]int, n)
+		for j := range last[i] {
+			last[i][j] = -1
+		}
+	}
+	dep := func(task, i, j int) {
+		if last[i][j] >= 0 {
+			g.AddEdge(last[i][j], task, 1)
+		}
+		last[i][j] = task
+	}
+	for k := 0; k < n; k++ {
+		potrf := g.AddNamedTask(fmt.Sprintf("potrf%d", k), 1)
+		dep(potrf, k, k)
+		for i := k + 1; i < n; i++ {
+			trsm := g.AddNamedTask(fmt.Sprintf("trsm%d_%d", k, i), 3)
+			g.AddEdge(potrf, trsm, 1)
+			dep(trsm, i, k)
+		}
+		for i := k + 1; i < n; i++ {
+			syrk := g.AddNamedTask(fmt.Sprintf("syrk%d_%d", k, i), 3)
+			g.AddEdge(last[i][k], syrk, 1) // reads the TRSM panel
+			dep(syrk, i, i)
+			for j := k + 1; j < i; j++ {
+				gemm := g.AddNamedTask(fmt.Sprintf("gemm%d_%d_%d", k, i, j), 6)
+				g.AddEdge(last[i][k], gemm, 1)
+				g.AddEdge(last[j][k], gemm, 1)
+				dep(gemm, i, j)
+			}
+		}
+	}
+	g.MustValidate()
+	return g
+}
+
+// CholeskySizeFor returns the tile dimension n whose Cholesky graph has at
+// least v tasks.
+func CholeskySizeFor(v int) int {
+	n := 1
+	for {
+		// V(n) = sum over k of 1 + (n-1-k) + (n-1-k) + C(n-1-k, 2)
+		total := 0
+		for k := 0; k < n; k++ {
+			m := n - 1 - k
+			total += 1 + 2*m + m*(m-1)/2
+		}
+		if total >= v {
+			return n
+		}
+		n++
+	}
+}
+
+// TriangularSolve returns the task graph of a blocked lower-triangular
+// solve Lx = b with n row blocks: each diagonal solve depends on all
+// updates of its row, and each update depends on an earlier solve — a
+// strongly serial workload whose width shrinks to 1 repeatedly, stressing
+// the schedulers' handling of scarce parallelism.
+func TriangularSolve(n int) *graph.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: TriangularSolve(%d), want n >= 1", n))
+	}
+	g := graph.New(fmt.Sprintf("trisolve-%d", n))
+	solve := make([]int, n)
+	// pending[i] is the last update task of row i (chained serially).
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		solve[i] = g.AddNamedTask(fmt.Sprintf("solve%d", i), 2)
+		if pending[i] >= 0 {
+			g.AddEdge(pending[i], solve[i], 1)
+		}
+		for j := i + 1; j < n; j++ {
+			upd := g.AddNamedTask(fmt.Sprintf("upd%d_%d", i, j), 1)
+			g.AddEdge(solve[i], upd, 1)
+			if pending[j] >= 0 {
+				g.AddEdge(pending[j], upd, 1)
+			}
+			pending[j] = upd
+		}
+	}
+	g.MustValidate()
+	return g
+}

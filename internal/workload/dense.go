@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"flb/internal/graph"
+)
+
+// This file generates the dense linear-algebra task graphs of the paper's
+// evaluation. All generators emit unit computation and communication
+// weights; RandomizeWeights and (*graph.Graph).SetCCR then impose the
+// experiment's distribution and granularity.
+
+// LU returns the task graph of a column-based dense LU decomposition of an
+// n x n matrix: one pivot-column task per step k and one update task per
+// remaining column j > k. The graph has n + n(n-1)/2 tasks and features
+// the long chains of forks and joins the paper points to when explaining
+// LU's limited speedup (§6.2).
+func LU(n int) *graph.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: LU(%d), want n >= 1", n))
+	}
+	g := graph.New(fmt.Sprintf("lu-%d", n))
+	diag := make([]int, n)
+	// upd[k] holds the update tasks of step k, indexed by column j (j > k).
+	upd := make([]map[int]int, n)
+	for k := 0; k < n; k++ {
+		diag[k] = g.AddNamedTask(fmt.Sprintf("piv%d", k), 1)
+		upd[k] = make(map[int]int)
+		for j := k + 1; j < n; j++ {
+			upd[k][j] = g.AddNamedTask(fmt.Sprintf("upd%d_%d", k, j), 1)
+		}
+	}
+	for k := 0; k < n; k++ {
+		for j := k + 1; j < n; j++ {
+			// The pivot column is needed by every update of the step.
+			g.AddEdge(diag[k], upd[k][j], 1)
+			if j == k+1 {
+				// The next pivot column is the first updated column.
+				g.AddEdge(upd[k][j], diag[k+1], 1)
+			} else {
+				// Column j must be updated by step k before step k+1 touches it.
+				g.AddEdge(upd[k][j], upd[k+1][j], 1)
+			}
+		}
+	}
+	g.MustValidate()
+	return g
+}
+
+// LUSizeFor returns the matrix dimension n whose LU graph has at least v
+// tasks (the paper sizes every problem to roughly V = 2000 tasks).
+func LUSizeFor(v int) int {
+	// V(n) = n + n(n-1)/2; solve the quadratic and round up.
+	n := int(math.Ceil((-1 + math.Sqrt(1+8*float64(v))) / 2)) // from n^2/2 ~ v
+	for n > 1 && n+n*(n-1)/2 >= v && (n-1)+(n-1)*(n-2)/2 >= v {
+		n--
+	}
+	for n+n*(n-1)/2 < v {
+		n++
+	}
+	return n
+}
+
+// Laplace returns the diamond-shaped wavefront graph of an iterative
+// Laplace equation solver on an n x n grid: task (i,j) depends on (i-1,j)
+// and (i,j-1). Parallelism grows to n on the main anti-diagonal and decays
+// again, producing the saturating speedup curve of the paper's Fig. 3.
+// The graph has n*n tasks.
+func Laplace(n int) *graph.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: Laplace(%d), want n >= 1", n))
+	}
+	g := graph.New(fmt.Sprintf("laplace-%d", n))
+	id := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.AddNamedTask(fmt.Sprintf("c%d_%d", i, j), 1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+			if j+1 < n {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+		}
+	}
+	g.MustValidate()
+	return g
+}
+
+// LaplaceSizeFor returns the grid side n with n*n >= v tasks.
+func LaplaceSizeFor(v int) int {
+	return int(math.Ceil(math.Sqrt(float64(v))))
+}
+
+// Stencil returns a one-dimensional stencil (nearest-neighbour relaxation)
+// graph: `width` cells iterated for `steps` time steps; cell (x, s)
+// depends on cells x-1, x and x+1 of step s-1 (clamped at the
+// boundaries). Width is constant across layers, which is why the paper's
+// Fig. 3 reports near-linear speedup for Stencil. The graph has
+// width*steps tasks.
+func Stencil(width, steps int) *graph.Graph {
+	if width < 1 || steps < 1 {
+		panic(fmt.Sprintf("workload: Stencil(%d, %d), want both >= 1", width, steps))
+	}
+	g := graph.New(fmt.Sprintf("stencil-%dx%d", width, steps))
+	id := func(x, s int) int { return s*width + x }
+	for s := 0; s < steps; s++ {
+		for x := 0; x < width; x++ {
+			g.AddNamedTask(fmt.Sprintf("s%d_%d", s, x), 1)
+		}
+	}
+	for s := 1; s < steps; s++ {
+		for x := 0; x < width; x++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx := x + dx
+				if nx >= 0 && nx < width {
+					g.AddEdge(id(nx, s-1), id(x, s), 1)
+				}
+			}
+		}
+	}
+	g.MustValidate()
+	return g
+}
+
+// StencilSizeFor returns (width, steps) with width*steps >= v tasks and a
+// fixed width of 40 cells (wide enough to keep 32 processors busy, the
+// paper's largest machine).
+func StencilSizeFor(v int) (width, steps int) {
+	width = 40
+	steps = (v + width - 1) / width
+	if steps < 1 {
+		steps = 1
+	}
+	return width, steps
+}
+
+// FFT returns the butterfly task graph of an n-point fast Fourier
+// transform (n must be a power of two): log2(n)+1 layers of n tasks, each
+// task of layer l+1 depending on two tasks of layer l. Like Stencil it is
+// perfectly regular; the paper groups FFT with Stencil as the
+// linear-speedup problems. The graph has n*(log2(n)+1) tasks.
+func FFT(n int) *graph.Graph {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("workload: FFT(%d), want a power of two >= 2", n))
+	}
+	m := 0
+	for 1<<m < n {
+		m++
+	}
+	g := graph.New(fmt.Sprintf("fft-%d", n))
+	id := func(layer, i int) int { return layer*n + i }
+	for layer := 0; layer <= m; layer++ {
+		for i := 0; i < n; i++ {
+			g.AddNamedTask(fmt.Sprintf("f%d_%d", layer, i), 1)
+		}
+	}
+	for layer := 0; layer < m; layer++ {
+		span := n >> (layer + 1) // butterfly partner distance at this stage
+		for i := 0; i < n; i++ {
+			g.AddEdge(id(layer, i), id(layer+1, i), 1)
+			g.AddEdge(id(layer, i^span), id(layer+1, i), 1)
+		}
+	}
+	g.MustValidate()
+	return g
+}
+
+// FFTSizeFor returns the smallest power-of-two point count whose FFT graph
+// has at least v tasks.
+func FFTSizeFor(v int) int {
+	n := 2
+	for {
+		m := 0
+		for 1<<m < n {
+			m++
+		}
+		if n*(m+1) >= v {
+			return n
+		}
+		n *= 2
+	}
+}

@@ -1,0 +1,31 @@
+// Package workload generates the task graphs of the paper's evaluation —
+// LU decomposition, a Laplace equation solver (diamond wavefront), a
+// stencil algorithm and FFT (paper §6) — plus random and structured
+// families used by the tests and examples, weight randomization with the
+// paper's distribution, and CCR control.
+package workload
+
+import "flb/internal/graph"
+
+// PaperExample returns the 8-task example of the paper's Fig. 1, as
+// reconstructed from the Table 1 execution trace (DESIGN.md §4). FLB on 2
+// processors schedules it exactly as Table 1 shows, finishing at 14.
+func PaperExample() *graph.Graph {
+	g := graph.New("fig1")
+	for _, c := range []float64{2, 2, 2, 3, 3, 3, 2, 2} {
+		g.AddTask(c)
+	}
+	type e struct {
+		from, to int
+		comm     float64
+	}
+	for _, ed := range []e{
+		{0, 1, 1}, {0, 2, 4}, {0, 3, 1}, {0, 4, 3},
+		{1, 4, 2}, {1, 5, 1}, {3, 5, 1}, {1, 6, 2}, {2, 6, 1},
+		{4, 7, 1}, {5, 7, 3}, {6, 7, 2},
+	} {
+		g.AddEdge(ed.from, ed.to, ed.comm)
+	}
+	g.MustValidate()
+	return g
+}

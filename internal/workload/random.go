@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flb/internal/graph"
+)
+
+// LayeredRandom returns a random layered DAG: `layers` layers of `width`
+// tasks each; every task of layer l+1 receives an edge from each task of
+// layer l independently with probability p, plus one guaranteed edge so no
+// spurious entry tasks appear mid-graph. Used heavily by the property
+// tests because it covers both very serial (p high) and very parallel
+// (p low) regimes.
+func LayeredRandom(rng *rand.Rand, layers, width int, p float64) *graph.Graph {
+	if layers < 1 || width < 1 {
+		panic(fmt.Sprintf("workload: LayeredRandom(%d, %d)", layers, width))
+	}
+	g := graph.New(fmt.Sprintf("layered-%dx%d", layers, width))
+	id := func(l, i int) int { return l*width + i }
+	for l := 0; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			g.AddTask(1)
+		}
+	}
+	for l := 1; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			connected := false
+			for j := 0; j < width; j++ {
+				if rng.Float64() < p {
+					g.AddEdge(id(l-1, j), id(l, i), 1)
+					connected = true
+				}
+			}
+			if !connected {
+				g.AddEdge(id(l-1, rng.Intn(width)), id(l, i), 1)
+			}
+		}
+	}
+	g.MustValidate()
+	return g
+}
+
+// GNPDag returns a random DAG on n tasks where each forward pair (i, j)
+// with i < j is an edge independently with probability p — the classic
+// G(n, p) model restricted to one topological order.
+func GNPDag(rng *rand.Rand, n int, p float64) *graph.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: GNPDag(%d)", n))
+	}
+	g := graph.New(fmt.Sprintf("gnp-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddTask(1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j, 1)
+			}
+		}
+	}
+	g.MustValidate()
+	return g
+}
+
+// OutTree returns a complete out-tree (fork tree) of the given depth and
+// fan-out: a root spawning fan children per node, depth levels deep.
+func OutTree(depth, fan int) *graph.Graph {
+	if depth < 1 || fan < 1 {
+		panic(fmt.Sprintf("workload: OutTree(%d, %d)", depth, fan))
+	}
+	g := graph.New(fmt.Sprintf("outtree-%dx%d", depth, fan))
+	var grow func(parent, level int)
+	grow = func(parent, level int) {
+		if level >= depth {
+			return
+		}
+		for c := 0; c < fan; c++ {
+			child := g.AddTask(1)
+			g.AddEdge(parent, child, 1)
+			grow(child, level+1)
+		}
+	}
+	root := g.AddTask(1)
+	grow(root, 1)
+	g.MustValidate()
+	return g
+}
+
+// InTree returns a complete in-tree (join tree): the reverse of OutTree,
+// leaves reducing toward a single root. Join-heavy graphs are the regime
+// where the paper reports FLB trailing MCP slightly (§6.2).
+func InTree(depth, fan int) *graph.Graph {
+	out := OutTree(depth, fan)
+	g := graph.New(fmt.Sprintf("intree-%dx%d", depth, fan))
+	for i := 0; i < out.NumTasks(); i++ {
+		g.AddTask(1)
+	}
+	for i := 0; i < out.NumEdges(); i++ {
+		e := out.Edge(i)
+		g.AddEdge(e.To, e.From, 1) // reverse every edge
+	}
+	g.MustValidate()
+	return g
+}
+
+// ForkJoin returns `stages` sequential fork-join stages of the given
+// width: fork task -> width parallel tasks -> join task, chained.
+func ForkJoin(stages, width int) *graph.Graph {
+	if stages < 1 || width < 1 {
+		panic(fmt.Sprintf("workload: ForkJoin(%d, %d)", stages, width))
+	}
+	g := graph.New(fmt.Sprintf("forkjoin-%dx%d", stages, width))
+	prevJoin := g.AddNamedTask("fork0", 1)
+	for s := 0; s < stages; s++ {
+		join := -1
+		mids := make([]int, width)
+		for i := range mids {
+			mids[i] = g.AddNamedTask(fmt.Sprintf("w%d_%d", s, i), 1)
+			g.AddEdge(prevJoin, mids[i], 1)
+		}
+		join = g.AddNamedTask(fmt.Sprintf("join%d", s), 1)
+		for _, m := range mids {
+			g.AddEdge(m, join, 1)
+		}
+		prevJoin = join
+	}
+	g.MustValidate()
+	return g
+}
+
+// Chain returns a linear chain of n tasks — the degenerate fully serial
+// workload (width 1), useful as a scheduling edge case.
+func Chain(n int) *graph.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: Chain(%d)", n))
+	}
+	g := graph.New(fmt.Sprintf("chain-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddTask(1)
+		if i > 0 {
+			g.AddEdge(i-1, i, 1)
+		}
+	}
+	g.MustValidate()
+	return g
+}
+
+// Independent returns n tasks with no edges — the degenerate fully
+// parallel workload (pure load balancing).
+func Independent(n int) *graph.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: Independent(%d)", n))
+	}
+	g := graph.New(fmt.Sprintf("independent-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddTask(1)
+	}
+	return g
+}

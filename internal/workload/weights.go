@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flb/internal/graph"
+)
+
+// Sampler draws one random weight with the given mean.
+type Sampler interface {
+	Sample(rng *rand.Rand, mean float64) float64
+	Name() string
+}
+
+// Uniform02 samples uniformly on [0, 2*mean] — the conventional reading of
+// the paper's "i.i.d., uniform distribution with unit coefficient of
+// variation" (a non-negative uniform cannot literally reach CV = 1; see
+// DESIGN.md §5). Its CV is 1/sqrt(3) ≈ 0.577.
+type Uniform02 struct{}
+
+// Sample implements Sampler.
+func (Uniform02) Sample(rng *rand.Rand, mean float64) float64 {
+	return rng.Float64() * 2 * mean
+}
+
+// Name implements Sampler.
+func (Uniform02) Name() string { return "uniform[0,2u]" }
+
+// Exponential samples exponentially with the given mean — a distribution
+// whose coefficient of variation is exactly 1, matching the paper's
+// stated unit CV.
+type Exponential struct{}
+
+// Sample implements Sampler.
+func (Exponential) Sample(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// Name implements Sampler.
+func (Exponential) Name() string { return "exponential" }
+
+// RandomizeWeights redraws every computation and communication weight
+// i.i.d. from the sampler with mean 1, then rescales communication so the
+// graph's CCR equals ccr (paper §6: "we generated 5 graphs with random
+// execution times and communication delays"). Zero-probability corner:
+// weights are clamped to a tiny positive epsilon so no task is free and
+// CCR stays well-defined.
+func RandomizeWeights(g *graph.Graph, rng *rand.Rand, s Sampler, ccr float64) {
+	if s == nil {
+		s = Uniform02{}
+	}
+	const eps = 1e-6
+	for t := 0; t < g.NumTasks(); t++ {
+		g.SetComp(t, math.Max(s.Sample(rng, 1), eps))
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		g.SetComm(i, math.Max(s.Sample(rng, 1), eps))
+	}
+	g.SetCCR(ccr)
+}
+
+// Family identifies one of the paper's workload families by name and
+// generates instances of roughly a target task count.
+type Family struct {
+	// Name is the family identifier: "lu", "laplace", "stencil" or "fft".
+	Name string
+	// Generate returns a unit-weight instance with at least targetV tasks
+	// (as close as the family's structure permits).
+	Generate func(targetV int) *graph.Graph
+}
+
+// Families lists the problem families: the paper's evaluation set (§6: LU,
+// Laplace, Stencil; Fig. 3's discussion adds FFT) followed by the
+// extension families (tiled Cholesky, blocked triangular solve).
+func Families() []Family {
+	return []Family{
+		{Name: "lu", Generate: func(v int) *graph.Graph { return LU(LUSizeFor(v)) }},
+		{Name: "laplace", Generate: func(v int) *graph.Graph { return Laplace(LaplaceSizeFor(v)) }},
+		{Name: "stencil", Generate: func(v int) *graph.Graph {
+			w, s := StencilSizeFor(v)
+			return Stencil(w, s)
+		}},
+		{Name: "fft", Generate: func(v int) *graph.Graph { return FFT(FFTSizeFor(v)) }},
+		{Name: "cholesky", Generate: func(v int) *graph.Graph { return Cholesky(CholeskySizeFor(v)) }},
+		{Name: "trisolve", Generate: func(v int) *graph.Graph { return TriangularSolve(LUSizeFor(v)) }},
+	}
+}
+
+// FamilyByName returns the family with the given name.
+func FamilyByName(name string) (Family, error) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("workload: unknown family %q (want lu, laplace, stencil, fft, cholesky or trisolve)", name)
+}
+
+// Instance generates one randomized experiment instance: family `name`,
+// roughly targetV tasks, the given CCR, weights drawn from sampler s
+// (nil = Uniform02) with the given seed. This is the exact procedure of
+// the paper's §6 setup.
+func Instance(name string, targetV int, ccr float64, s Sampler, seed int64) (*graph.Graph, error) {
+	fam, err := FamilyByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g := fam.Generate(targetV)
+	rng := rand.New(rand.NewSource(seed))
+	RandomizeWeights(g, rng, s, ccr)
+	g.Name = fmt.Sprintf("%s-v%d-ccr%g-s%d", name, g.NumTasks(), ccr, seed)
+	return g, nil
+}

@@ -1,0 +1,406 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPaperExample(t *testing.T) {
+	g := PaperExample()
+	if g.NumTasks() != 8 || g.NumEdges() != 12 {
+		t.Fatalf("paper example: %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	// Bottom levels must match the BL column of Table 1.
+	want := []float64{15, 11, 9, 12, 6, 8, 6, 2}
+	bl := g.BottomLevels()
+	for id, w := range want {
+		if bl[id] != w {
+			t.Errorf("BL(t%d) = %v, want %v", id, bl[id], w)
+		}
+	}
+	if got := g.CriticalPath(); got != 15 {
+		t.Errorf("CP = %v, want 15", got)
+	}
+	if got := g.TotalComp(); got != 19 {
+		t.Errorf("TotalComp = %v, want 19", got)
+	}
+}
+
+func TestLUStructure(t *testing.T) {
+	g := LU(4)
+	// V = n + n(n-1)/2 = 4 + 6 = 10.
+	if g.NumTasks() != 10 {
+		t.Fatalf("LU(4) has %d tasks, want 10", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one entry (piv0) and one exit (piv3: the last pivot).
+	if entries := g.EntryTasks(); len(entries) != 1 {
+		t.Errorf("LU entries = %v", entries)
+	}
+	if exits := g.ExitTasks(); len(exits) != 1 {
+		t.Errorf("LU exits = %v", exits)
+	}
+	// Width shrinks as elimination proceeds; max parallelism is n-1 updates.
+	if w := g.Width(); w != 3 {
+		t.Errorf("LU(4) width = %d, want 3", w)
+	}
+	if g.Task(0).Name != "piv0" {
+		t.Errorf("task 0 name = %q", g.Task(0).Name)
+	}
+}
+
+func TestLUSizeFor(t *testing.T) {
+	for _, v := range []int{1, 10, 100, 2000} {
+		n := LUSizeFor(v)
+		if got := n + n*(n-1)/2; got < v {
+			t.Errorf("LUSizeFor(%d) = %d gives only %d tasks", v, n, got)
+		}
+		if n > 1 {
+			m := n - 1
+			if got := m + m*(m-1)/2; got >= v {
+				t.Errorf("LUSizeFor(%d) = %d not minimal (%d already gives %d)", v, n, m, got)
+			}
+		}
+	}
+	if n := LUSizeFor(2000); n != 63 {
+		t.Errorf("LUSizeFor(2000) = %d, want 63 (62 gives only 1953 tasks)", n)
+	}
+}
+
+func TestLaplaceStructure(t *testing.T) {
+	g := Laplace(5)
+	if g.NumTasks() != 25 {
+		t.Fatalf("Laplace(5) has %d tasks", g.NumTasks())
+	}
+	// Interior cells have 2 preds and 2 succs; single entry/exit corners.
+	if len(g.EntryTasks()) != 1 || len(g.ExitTasks()) != 1 {
+		t.Errorf("Laplace corners wrong: %v / %v", g.EntryTasks(), g.ExitTasks())
+	}
+	if w := g.Width(); w != 5 {
+		t.Errorf("Laplace(5) width = %d, want 5", w)
+	}
+	if LaplaceSizeFor(2000) != 45 {
+		t.Errorf("LaplaceSizeFor(2000) = %d, want 45", LaplaceSizeFor(2000))
+	}
+}
+
+func TestStencilStructure(t *testing.T) {
+	g := Stencil(4, 3)
+	if g.NumTasks() != 12 {
+		t.Fatalf("Stencil(4,3) has %d tasks", g.NumTasks())
+	}
+	// Every cell of layer 0 is an entry; every cell of the last layer exits.
+	if len(g.EntryTasks()) != 4 || len(g.ExitTasks()) != 4 {
+		t.Errorf("Stencil boundaries wrong: %v / %v", g.EntryTasks(), g.ExitTasks())
+	}
+	// Width equals the row width.
+	if w := g.Width(); w != 4 {
+		t.Errorf("Stencil width = %d, want 4", w)
+	}
+	// Interior cell has 3 predecessors, boundary cells 2.
+	if got := g.InDegree(5); got != 3 { // (x=1, s=1)
+		t.Errorf("interior in-degree = %d, want 3", got)
+	}
+	if got := g.InDegree(4); got != 2 { // (x=0, s=1)
+		t.Errorf("boundary in-degree = %d, want 2", got)
+	}
+	w, s := StencilSizeFor(2000)
+	if w*s < 2000 {
+		t.Errorf("StencilSizeFor(2000) = %d x %d too small", w, s)
+	}
+}
+
+func TestFFTStructure(t *testing.T) {
+	g := FFT(8) // 8 points, 4 layers of 8 = 32 tasks
+	if g.NumTasks() != 32 {
+		t.Fatalf("FFT(8) has %d tasks", g.NumTasks())
+	}
+	if len(g.EntryTasks()) != 8 || len(g.ExitTasks()) != 8 {
+		t.Errorf("FFT boundaries wrong")
+	}
+	// Every non-input task has exactly 2 predecessors.
+	for id := 8; id < 32; id++ {
+		if g.InDegree(id) != 2 {
+			t.Errorf("FFT task %d in-degree = %d, want 2", id, g.InDegree(id))
+		}
+	}
+	if w := g.Width(); w != 8 {
+		t.Errorf("FFT(8) width = %d, want 8", w)
+	}
+	if got := FFTSizeFor(2000); got != 256 {
+		t.Errorf("FFTSizeFor(2000) = %d, want 256", got)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FFT(%d) did not panic", n)
+				}
+			}()
+			FFT(n)
+		}()
+	}
+}
+
+func TestGeneratorPanicsOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { LU(0) },
+		func() { Laplace(0) },
+		func() { Stencil(0, 1) },
+		func() { Stencil(1, 0) },
+		func() { LayeredRandom(rand.New(rand.NewSource(1)), 0, 1, 0.5) },
+		func() { GNPDag(rand.New(rand.NewSource(1)), 0, 0.5) },
+		func() { OutTree(0, 1) },
+		func() { ForkJoin(0, 1) },
+		func() { Chain(0) },
+		func() { Independent(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLayeredRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := LayeredRandom(rng, 6, 5, 0.3)
+	if g.NumTasks() != 30 {
+		t.Fatalf("tasks = %d", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only layer-0 tasks may be entries.
+	for _, e := range g.EntryTasks() {
+		if e >= 5 {
+			t.Errorf("task %d in layer %d is an entry", e, e/5)
+		}
+	}
+}
+
+func TestGNPDagDeterminism(t *testing.T) {
+	a := GNPDag(rand.New(rand.NewSource(3)), 25, 0.2)
+	b := GNPDag(rand.New(rand.NewSource(3)), 25, 0.2)
+	if a.TextString() != b.TextString() {
+		t.Error("same seed produced different graphs")
+	}
+	c := GNPDag(rand.New(rand.NewSource(4)), 25, 0.2)
+	if a.TextString() == c.TextString() {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestTrees(t *testing.T) {
+	out := OutTree(3, 2) // 1 + 2 + 4 = 7 tasks
+	if out.NumTasks() != 7 {
+		t.Fatalf("OutTree tasks = %d", out.NumTasks())
+	}
+	if len(out.EntryTasks()) != 1 || len(out.ExitTasks()) != 4 {
+		t.Error("OutTree shape wrong")
+	}
+	in := InTree(3, 2)
+	if in.NumTasks() != 7 {
+		t.Fatalf("InTree tasks = %d", in.NumTasks())
+	}
+	if len(in.EntryTasks()) != 4 || len(in.ExitTasks()) != 1 {
+		t.Error("InTree shape wrong")
+	}
+}
+
+func TestForkJoinAndChain(t *testing.T) {
+	fj := ForkJoin(2, 3)
+	// fork0 + (3 workers + join) * 2 = 1 + 8 = 9
+	if fj.NumTasks() != 9 {
+		t.Fatalf("ForkJoin tasks = %d", fj.NumTasks())
+	}
+	if w := fj.Width(); w != 3 {
+		t.Errorf("ForkJoin width = %d, want 3", w)
+	}
+	ch := Chain(5)
+	if ch.Width() != 1 || ch.NumTasks() != 5 {
+		t.Error("Chain shape wrong")
+	}
+	ind := Independent(6)
+	if ind.Width() != 6 {
+		t.Error("Independent shape wrong")
+	}
+}
+
+func TestRandomizeWeights(t *testing.T) {
+	g := LU(10)
+	rng := rand.New(rand.NewSource(1))
+	RandomizeWeights(g, rng, Uniform02{}, 5.0)
+	if got := g.CCR(); math.Abs(got-5.0) > 1e-9 {
+		t.Errorf("CCR = %v, want 5", got)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.Comp(i) <= 0 {
+			t.Fatalf("non-positive comp after randomization: %v", g.Comp(i))
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i).Comm <= 0 {
+			t.Fatalf("non-positive comm after randomization: %v", g.Edge(i).Comm)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// nil sampler defaults to Uniform02.
+	RandomizeWeights(g, rng, nil, 0.2)
+	if got := g.CCR(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("CCR = %v, want 0.2", got)
+	}
+}
+
+func TestSamplerStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	for _, s := range []Sampler{Uniform02{}, Exponential{}} {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := s.Sample(rng, 1)
+			if v < 0 {
+				t.Fatalf("%s sampled negative %v", s.Name(), v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		cv := math.Sqrt(sumSq/n-mean*mean) / mean
+		if math.Abs(mean-1) > 0.05 {
+			t.Errorf("%s mean = %v, want ~1", s.Name(), mean)
+		}
+		wantCV := 1.0
+		if s.Name() == (Uniform02{}).Name() {
+			wantCV = 1 / math.Sqrt(3)
+		}
+		if math.Abs(cv-wantCV) > 0.05 {
+			t.Errorf("%s CV = %v, want ~%v", s.Name(), cv, wantCV)
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	fams := Families()
+	if len(fams) != 6 {
+		t.Fatalf("Families() = %d entries", len(fams))
+	}
+	for _, f := range fams {
+		g := f.Generate(500)
+		if g.NumTasks() < 500 {
+			t.Errorf("family %s generated only %d tasks for target 500", f.Name, g.NumTasks())
+		}
+		if g.NumTasks() > 1500 {
+			t.Errorf("family %s overshot wildly: %d tasks for target 500", f.Name, g.NumTasks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("family %s: %v", f.Name, err)
+		}
+	}
+	if _, err := FamilyByName("nonesuch"); err == nil {
+		t.Error("FamilyByName accepted nonsense")
+	}
+	if f, err := FamilyByName("laplace"); err != nil || f.Name != "laplace" {
+		t.Errorf("FamilyByName(laplace) = %v, %v", f, err)
+	}
+}
+
+func TestInstance(t *testing.T) {
+	g, err := Instance("lu", 300, 0.2, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.CCR()-0.2) > 1e-9 {
+		t.Errorf("CCR = %v", g.CCR())
+	}
+	if !strings.HasPrefix(g.Name, "lu-v") {
+		t.Errorf("instance name = %q", g.Name)
+	}
+	// Determinism.
+	g2, _ := Instance("lu", 300, 0.2, nil, 7)
+	if g.TextString() != g2.TextString() {
+		t.Error("Instance not deterministic for fixed seed")
+	}
+	if _, err := Instance("bogus", 300, 0.2, nil, 7); err == nil {
+		t.Error("Instance accepted unknown family")
+	}
+}
+
+func TestCholeskyStructure(t *testing.T) {
+	g := Cholesky(4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// V(4) = sum over k of 1 + 2m + m(m-1)/2 with m = 3,2,1,0:
+	// (1+6+3) + (1+4+1) + (1+2+0) + 1 = 20.
+	if g.NumTasks() != 20 {
+		t.Fatalf("Cholesky(4) tasks = %d, want 20", g.NumTasks())
+	}
+	// Single entry (potrf0), single exit (potrf3).
+	if len(g.EntryTasks()) != 1 || g.Task(g.EntryTasks()[0]).Name != "potrf0" {
+		t.Errorf("entries = %v", g.EntryTasks())
+	}
+	if len(g.ExitTasks()) != 1 {
+		t.Errorf("exits = %v", g.ExitTasks())
+	}
+	// Kernel costs follow the flop ratios.
+	if g.Comp(0) != 1 {
+		t.Errorf("potrf cost = %v", g.Comp(0))
+	}
+	if n := CholeskySizeFor(2000); n < 2 {
+		t.Errorf("CholeskySizeFor(2000) = %d", n)
+	} else {
+		if Cholesky(n).NumTasks() < 2000 {
+			t.Errorf("CholeskySizeFor undershoots")
+		}
+		if n > 2 && Cholesky(n-1).NumTasks() >= 2000 {
+			t.Errorf("CholeskySizeFor not minimal")
+		}
+	}
+}
+
+func TestTriangularSolveStructure(t *testing.T) {
+	g := TriangularSolve(4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// n solves + n(n-1)/2 updates = 4 + 6 = 10.
+	if g.NumTasks() != 10 {
+		t.Fatalf("TriangularSolve(4) tasks = %d, want 10", g.NumTasks())
+	}
+	// Strongly serial: the last solve transitively depends on everything,
+	// so there is a single exit and the width is small.
+	if len(g.ExitTasks()) != 1 {
+		t.Errorf("exits = %v", g.ExitTasks())
+	}
+	if w := g.Width(); w >= g.NumTasks()/2 {
+		t.Errorf("width = %d, expected scarce parallelism", w)
+	}
+}
+
+func TestNewFamilyPanics(t *testing.T) {
+	for _, f := range []func(){func() { Cholesky(0) }, func() { TriangularSolve(0) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad size did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
