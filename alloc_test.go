@@ -1,0 +1,53 @@
+package flb_test
+
+import (
+	"testing"
+
+	"flb"
+)
+
+// TestBaselineAllocBudgets pins the (looser) steady-state allocation
+// budgets of the pooled baselines: their per-run scratch (heaps, ready
+// trackers, bottom levels) is reused, so repeated scheduling of a frozen
+// instance should cost little more than the fresh output schedule. The
+// bounds are deliberately generous — they exist to catch a silent return
+// to thousands of per-run allocations, not to pin exact counts.
+func TestBaselineAllocBudgets(t *testing.T) {
+	g, err := flb.WorkloadInstance("lu", 200, 1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	sys := flb.NewSystem(8)
+	cases := []struct {
+		name   string
+		budget float64
+	}{
+		{"flb", 200},
+		{"fcp", 200},
+		{"etf", 200},
+		// MCP draws a fresh random tie-breaking permutation per run.
+		{"mcp", 300},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := flb.NewAlgorithm(tc.name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := a.Schedule(g, sys); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if _, err := a.Schedule(g, sys); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > tc.budget {
+				t.Errorf("%s allocates %.1f/run on a reused frozen instance, want <= %g", tc.name, avg, tc.budget)
+			}
+		})
+	}
+}

@@ -48,6 +48,18 @@ type (
 // FLB is the paper's scheduler, usable directly as an Algorithm.
 type FLB = core.FLB
 
+// Scheduler is a reusable FLB scheduling arena for high-throughput
+// callers: it produces exactly the same schedules as FLB but reuses all
+// working memory (heaps, trackers, scratch arrays and the output
+// schedule) across calls, reaching zero steady-state allocations on
+// frozen graphs. The returned schedule is valid only until the next
+// Schedule call; Clone it to keep it. Not safe for concurrent use — use
+// one Scheduler per goroutine.
+type Scheduler = core.Scheduler
+
+// NewScheduler returns a reusable FLB arena (the paper's configuration).
+func NewScheduler() *Scheduler { return core.NewScheduler(core.FLB{}) }
+
 // NewGraph returns an empty task graph with the given name.
 func NewGraph(name string) *Graph { return graph.New(name) }
 

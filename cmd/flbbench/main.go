@@ -8,14 +8,20 @@
 //	flbbench -exp all                 # the paper's full setup (V≈2000, 5 seeds)
 //	flbbench -exp fig4 -quick         # scaled-down smoke run
 //	flbbench -exp fig2 -csv           # machine-readable output
+//	flbbench -exp all -quick -json    # one JSON document for all experiments
 //	flbbench -exp fig3 -v 1000 -seeds 3 -procs 2,4,8
+//	flbbench -exp fig2 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -29,6 +35,22 @@ func main() {
 	}
 }
 
+// csver is implemented by results with a machine-readable table form.
+type csver interface{ CSV() string }
+
+// formatter is implemented by every experiment result.
+type formatter interface{ Format() string }
+
+// jsonExperiment is one experiment in the -json summary: tabular results
+// carry their CSV columns and rows; text-only results (table1, scaling,
+// optimality) carry the formatted text instead.
+type jsonExperiment struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Text    string     `json:"text,omitempty"`
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("flbbench", flag.ContinueOnError)
 	var (
@@ -39,12 +61,30 @@ func run(args []string, stdout io.Writer) error {
 		procsArg = fs.String("procs", "", "override processor counts, comma-separated (default 2,4,8,16,32)")
 		families = fs.String("families", "", "override families, comma-separated (default lu,laplace,stencil)")
 		seed     = fs.Int64("seed", 1, "base seed for instance generation and tie-breaking")
-		csv      = fs.Bool("csv", false, "emit CSV instead of formatted tables")
+		csvFlag  = fs.Bool("csv", false, "emit CSV instead of formatted tables")
+		jsonFlag = fs.Bool("json", false, "emit one JSON summary document instead of text")
 		par      = fs.Bool("parallel", false, "run quality experiments on all CPUs (identical results)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *csvFlag && *jsonFlag {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := bench.Default()
@@ -73,13 +113,48 @@ func run(args []string, stdout io.Writer) error {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
 
+	var jsonOut []jsonExperiment
+	// emit renders one experiment result in the selected output mode.
+	// header is an optional explanatory line printed (or, in JSON mode,
+	// ignored) before text-formatted output.
+	emit := func(name, header string, r formatter) error {
+		switch {
+		case *jsonFlag:
+			e := jsonExperiment{Name: name}
+			if c, ok := r.(csver); ok {
+				cols, rows, err := parseCSV(c.CSV())
+				if err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				e.Columns, e.Rows = cols, rows
+			} else {
+				e.Text = r.Format()
+			}
+			jsonOut = append(jsonOut, e)
+		case *csvFlag:
+			if c, ok := r.(csver); ok {
+				fmt.Fprint(stdout, c.CSV())
+				break
+			}
+			fmt.Fprintln(stdout, r.Format())
+		default:
+			if header != "" {
+				fmt.Fprintln(stdout, header)
+			}
+			fmt.Fprintln(stdout, r.Format())
+		}
+		return nil
+	}
+
 	if want("table1") {
 		ran = true
 		r, err := bench.Table1()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, r.Format())
+		if err := emit("table1", "", r); err != nil {
+			return err
+		}
 	}
 	if want("fig2") {
 		ran = true
@@ -87,10 +162,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *csv {
-			fmt.Fprint(stdout, r.CSV())
-		} else {
-			fmt.Fprintln(stdout, r.Format())
+		if err := emit("fig2", "", r); err != nil {
+			return err
 		}
 	}
 	if want("fig3") {
@@ -99,10 +172,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *csv {
-			fmt.Fprint(stdout, r.CSV())
-		} else {
-			fmt.Fprintln(stdout, r.Format())
+		if err := emit("fig3", "", r); err != nil {
+			return err
 		}
 	}
 	if want("fig4") {
@@ -111,10 +182,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *csv {
-			fmt.Fprint(stdout, r.CSV())
-		} else {
-			fmt.Fprintln(stdout, r.Format())
+		if err := emit("fig4", "", r); err != nil {
+			return err
 		}
 	}
 	if want("robust") {
@@ -129,10 +198,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *csv {
-			fmt.Fprint(stdout, r.CSV())
-		} else {
-			fmt.Fprintln(stdout, r.Format())
+		if err := emit("robust", "", r); err != nil {
+			return err
 		}
 	}
 	if want("ablation") {
@@ -149,11 +216,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *csv {
-			fmt.Fprint(stdout, r.CSV())
-		} else {
-			fmt.Fprintln(stdout, "Ablation — NSL vs MCP for FLB tie-breaking variants and extension baselines")
-			fmt.Fprintln(stdout, r.Format())
+		if err := emit("ablation", "Ablation — NSL vs MCP for FLB tie-breaking variants and extension baselines", r); err != nil {
+			return err
 		}
 	}
 	if want("ccr") {
@@ -166,10 +230,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *csv {
-			fmt.Fprint(stdout, r.CSV())
-		} else {
-			fmt.Fprintln(stdout, r.Format())
+		if err := emit("ccr", "", r); err != nil {
+			return err
 		}
 	}
 	if want("contention") {
@@ -182,10 +244,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *csv {
-			fmt.Fprint(stdout, r.CSV())
-		} else {
-			fmt.Fprintln(stdout, r.Format())
+		if err := emit("contention", "", r); err != nil {
+			return err
 		}
 	}
 	if want("optimality") {
@@ -199,7 +259,9 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, r.Format())
+		if err := emit("optimality", "", r); err != nil {
+			return err
+		}
 	}
 	if want("scaling") {
 		ran = true
@@ -213,12 +275,48 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, r.Format())
+		if err := emit("scaling", "", r); err != nil {
+			return err
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, ablation, ccr, contention, optimality, or all)", *exp)
 	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Experiments []jsonExperiment `json:"experiments"`
+		}{jsonOut}); err != nil {
+			return err
+		}
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
 	return nil
+}
+
+// parseCSV splits a result's CSV text into its header and data rows.
+func parseCSV(s string) (columns []string, rows [][]string, err error) {
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil, nil
+	}
+	return recs[0], recs[1:], nil
 }
 
 func parseInts(s string) ([]int, error) {

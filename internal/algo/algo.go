@@ -48,39 +48,56 @@ func CheckInputs(g *graph.Graph, sys machine.System) error {
 }
 
 // ReadyTracker tracks which tasks are ready (all parents scheduled) during
-// list scheduling. It is shared by every algorithm in the module.
+// list scheduling. It is shared by every algorithm in the module. The zero
+// value is usable after Reset; scheduler arenas embed it by value and
+// Reset it per run to avoid reallocation.
 type ReadyTracker struct {
 	g       *graph.Graph
 	pending []int // unscheduled predecessor count per task
+	newly   []int // scratch reused by Complete
 }
 
 // NewReadyTracker returns a tracker for g. Initial returns the entry tasks.
 func NewReadyTracker(g *graph.Graph) *ReadyTracker {
-	rt := &ReadyTracker{g: g, pending: make([]int, g.NumTasks())}
-	for t := 0; t < g.NumTasks(); t++ {
-		rt.pending[t] = g.InDegree(t)
-	}
+	rt := &ReadyTracker{}
+	rt.Reset(g)
 	return rt
 }
 
+// Reset re-targets the tracker at g, reusing its backing arrays.
+func (rt *ReadyTracker) Reset(g *graph.Graph) {
+	rt.g = g
+	n := g.NumTasks()
+	if cap(rt.pending) >= n {
+		rt.pending = rt.pending[:n]
+	} else {
+		rt.pending = make([]int, n)
+	}
+	for t := 0; t < n; t++ {
+		rt.pending[t] = g.InDegree(t)
+	}
+}
+
 // Initial returns the initially ready (entry) tasks in increasing ID order.
+// The returned slice must not be modified.
 func (rt *ReadyTracker) Initial() []int { return rt.g.EntryTasks() }
 
 // Complete marks t as scheduled and returns the tasks that become ready as
-// a consequence, in successor-edge order.
+// a consequence, in successor-edge order. The returned slice is reused by
+// the next Complete call; callers must consume (or copy) it first.
 func (rt *ReadyTracker) Complete(t int) []int {
-	var newly []int
+	rt.newly = rt.newly[:0]
 	for _, ei := range rt.g.SuccEdges(t) {
 		to := rt.g.Edge(ei).To
 		rt.pending[to]--
 		if rt.pending[to] == 0 {
-			newly = append(newly, to)
+			rt.newly = append(rt.newly, to)
 		}
 		if rt.pending[to] < 0 {
 			panic(fmt.Sprintf("algo: task %d completed more times than it has predecessors", to))
 		}
 	}
-	return newly
+	return rt.newly
 }
 
 // BestProcessor returns the processor on which ready task t starts the

@@ -11,6 +11,8 @@
 package etf
 
 import (
+	"sync"
+
 	"flb/internal/algo"
 	"flb/internal/graph"
 	"flb/internal/machine"
@@ -23,6 +25,16 @@ type ETF struct{}
 // Name implements the Algorithm interface.
 func (ETF) Name() string { return "ETF" }
 
+// etfState is the reusable per-run scratch: the ready list and tracker.
+// The exhaustive ready×processor scan dominates ETF's cost, but pooling
+// keeps its steady-state allocations to the output schedule alone.
+type etfState struct {
+	rt    algo.ReadyTracker
+	ready []int
+}
+
+var statePool = sync.Pool{New: func() any { return new(etfState) }}
+
 // Schedule implements the Algorithm interface.
 func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
 	if err := algo.CheckInputs(g, sys); err != nil {
@@ -33,8 +45,10 @@ func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	// ETF breaks start-time ties with statically computed priorities
 	// (paper §6.2); we use bottom levels, larger first.
 	bl := g.BottomLevels()
-	rt := algo.NewReadyTracker(g)
-	ready := append([]int(nil), rt.Initial()...)
+	st := statePool.Get().(*etfState)
+	rt := &st.rt
+	rt.Reset(g)
+	ready := append(st.ready[:0], rt.Initial()...)
 
 	for s.Graph().NumTasks() > 0 && !s.Complete() {
 		bestIdx, bestProc := -1, -1
@@ -66,5 +80,7 @@ func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 		ready = ready[:len(ready)-1]
 		ready = append(ready, rt.Complete(t)...)
 	}
+	st.ready = ready // keep the grown capacity for the next run
+	statePool.Put(st)
 	return s, nil
 }

@@ -17,6 +17,7 @@ package fcp
 
 import (
 	"math"
+	"sync"
 
 	"flb/internal/algo"
 	"flb/internal/graph"
@@ -31,6 +32,17 @@ type FCP struct{}
 // Name implements the Algorithm interface.
 func (FCP) Name() string { return "FCP" }
 
+// fcpState is the reusable scratch of one run: the two heaps and the
+// ready tracker. Pooling it (like FLB's arena) removes the per-call
+// allocations of the steady state.
+type fcpState struct {
+	readyQ pq.Heap
+	procQ  pq.Heap
+	rt     algo.ReadyTracker
+}
+
+var statePool = sync.Pool{New: func() any { return new(fcpState) }}
+
 // Schedule implements the Algorithm interface.
 func (f FCP) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
 	if err := algo.CheckInputs(g, sys); err != nil {
@@ -41,13 +53,18 @@ func (f FCP) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	n := g.NumTasks()
 	bl := g.BottomLevels()
 
-	readyQ := pq.New(n) // keyed by -BL: most critical first
-	rt := algo.NewReadyTracker(g)
+	st := statePool.Get().(*fcpState)
+	defer statePool.Put(st)
+	readyQ := &st.readyQ // keyed by -BL: most critical first
+	readyQ.Grow(n)
+	rt := &st.rt
+	rt.Reset(g)
 	for _, t := range rt.Initial() {
 		readyQ.Push(t, pq.Key{Primary: -bl[t]})
 	}
 	// Processors keyed by PRT: the head is the earliest-idle processor.
-	procQ := pq.New(sys.P)
+	procQ := &st.procQ
+	procQ.Grow(sys.P)
 	for p := 0; p < sys.P; p++ {
 		procQ.Push(p, pq.Key{Primary: 0})
 	}

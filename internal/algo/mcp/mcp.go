@@ -14,6 +14,7 @@ package mcp
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"flb/internal/algo"
 	"flb/internal/graph"
@@ -21,6 +22,16 @@ import (
 	"flb/internal/pq"
 	"flb/internal/schedule"
 )
+
+// mcpState is the reusable per-run scratch: the priority queue of ready
+// tasks and the ready tracker. The ALAP/rank arrays stay per-call (the
+// random tie-break draws a fresh permutation from the configured seed).
+type mcpState struct {
+	readyQ pq.Heap
+	rt     algo.ReadyTracker
+}
+
+var statePool = sync.Pool{New: func() any { return new(mcpState) }}
 
 // TieBreak selects how MCP orders tasks with equal ALAP time.
 type TieBreak int
@@ -74,8 +85,12 @@ func (m MCP) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	// ALAP order is topological whenever computation costs are positive, so
 	// the readiness filter usually never bites; it keeps zero-cost corner
 	// cases correct.
-	readyQ := pq.New(n)
-	rt := algo.NewReadyTracker(g)
+	st := statePool.Get().(*mcpState)
+	defer statePool.Put(st)
+	readyQ := &st.readyQ
+	readyQ.Grow(n)
+	rt := &st.rt
+	rt.Reset(g)
 	for _, t := range rt.Initial() {
 		readyQ.Push(t, pq.Key{Primary: alap[t], Secondary: rank[t]})
 	}

@@ -49,7 +49,6 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 		Procs:    cfg.Procs,
 		Speedup:  map[string]map[float64]map[int]stats.Summary{},
 	}
-	flb := core.FLB{}
 	type cellKey struct {
 		fam string
 		ccr float64
@@ -66,8 +65,17 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 		}
 	}
 	cells := make([]stats.Summary, len(keys))
-	err = forEach(len(keys), workers(cfg.Parallel), func(i int) error {
+	// Each worker owns one reusable FLB arena: the schedule is consumed
+	// (reduced to its speedup) before the next call, so the sweep's inner
+	// loop performs no steady-state allocations.
+	w := workers(cfg.Parallel)
+	scheds := make([]*core.Scheduler, w)
+	for i := range scheds {
+		scheds[i] = core.NewScheduler(core.FLB{})
+	}
+	err = forEachWorker(len(keys), w, func(worker, i int) error {
 		k := keys[i]
+		flb := scheds[worker]
 		var samples []float64
 		for _, in := range insts {
 			if in.family != k.fam || in.ccr != k.ccr {

@@ -26,12 +26,20 @@ func workers(parallel bool) int {
 }
 
 // forEach runs fn(i) for i in [0, n) on `w` workers. fn must only write to
-// per-i state. The first error wins; remaining work still completes (the
-// jobs are cheap relative to coordination and must not leak goroutines).
+// per-i state.
 func forEach(n, w int, fn func(i int) error) error {
+	return forEachWorker(n, w, func(_, i int) error { return fn(i) })
+}
+
+// forEachWorker is forEach exposing the worker index in [0, w): fn(worker,
+// i) may use per-worker scratch (e.g. a pooled core.Scheduler) in addition
+// to per-i state, because a worker runs its jobs sequentially. The first
+// error wins; remaining work still completes (the jobs are cheap relative
+// to coordination and must not leak goroutines).
+func forEachWorker(n, w int, fn func(worker, i int) error) error {
 	if w < 2 || n < 2 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -43,10 +51,10 @@ func forEach(n, w int, fn func(i int) error) error {
 	var firstErr error
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -54,7 +62,7 @@ func forEach(n, w int, fn func(i int) error) error {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(k)
 	}
 	for i := 0; i < n; i++ {
 		jobs <- i

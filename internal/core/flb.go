@@ -25,6 +25,11 @@
 // (keyed by the EST of their best EP task) and a heap of all processors
 // (keyed by PRT). All task-level ties break on larger bottom level — "the
 // task with the longest path to any exit task" — then smaller task ID.
+//
+// All of the algorithm's working state lives in a reusable arena
+// (Scheduler); the stateless FLB.Schedule entry point draws arenas from a
+// sync.Pool, so its steady-state cost is the fresh output Schedule plus
+// O(log) heap work — no per-run heap, tracker or level allocations.
 package core
 
 import (
@@ -71,7 +76,27 @@ func (f FLB) Name() string {
 	return name
 }
 
-// flbState carries the paper's data structures through one run.
+// Schedule implements the Algorithm interface. It is stateless from the
+// caller's perspective — the returned schedule is caller-owned — but
+// internally draws its working arena from a pool, so repeated calls do
+// not re-allocate heaps, trackers or scratch arrays.
+func (f FLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	if err := algo.CheckInputs(g, sys); err != nil {
+		return nil, err
+	}
+	st := statePool.Get().(*flbState)
+	s := schedule.New(g, sys)
+	s.Algorithm = f.Name()
+	st.reset(f, g, sys, s)
+	st.run(f.OnStep)
+	st.release()
+	statePool.Put(st)
+	return s, nil
+}
+
+// flbState carries the paper's data structures through one run. It is the
+// reusable scratch arena: reset re-targets every slice and heap at a new
+// (graph, system) pair without reallocating when capacities suffice.
 type flbState struct {
 	g   *graph.Graph
 	sys machine.System
@@ -86,48 +111,71 @@ type flbState struct {
 	emt []float64      // effective message arrival time on the enabling proc
 	ep  []machine.Proc // enabling processor (-1 for entry tasks)
 
-	emtEP  []*pq.Heap // per proc: EP tasks keyed by (EMT, -BL)
-	lmtEP  []*pq.Heap // per proc: EP tasks keyed by (LMT, -BL)
-	nonEP  *pq.Heap   // non-EP tasks keyed by (LMT, -BL)
-	active *pq.Heap   // active procs keyed by (EST of head EP task, -BL(head))
-	all    *pq.Heap   // all procs keyed by (PRT)
-
-	ready *algo.ReadyTracker
-}
-
-// Schedule implements the Algorithm interface.
-func (f FLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
-	if err := algo.CheckInputs(g, sys); err != nil {
-		return nil, err
-	}
-	n := g.NumTasks()
-	st := &flbState{
-		g:        g,
-		sys:      sys,
-		s:        schedule.New(g, sys),
-		bl:       g.BottomLevels(),
-		lmt:      make([]float64, n),
-		emt:      make([]float64, n),
-		ep:       make([]machine.Proc, n),
-		emtEP:    make([]*pq.Heap, sys.P),
-		lmtEP:    make([]*pq.Heap, sys.P),
-		nonEP:    pq.New(n),
-		ready:    algo.NewReadyTracker(g),
-		noBL:     f.NoBLTieBreak,
-		preferEP: f.PreferEPOnTie,
-	}
-	st.s.Algorithm = f.Name()
 	// A task is enabled by exactly one processor, so the per-processor EP
 	// heaps share one position store per key kind, keeping memory at
 	// O(V + P) instead of O(P*V).
-	emtPos, lmtPos := pq.NewPos(n), pq.NewPos(n)
-	for p := 0; p < sys.P; p++ {
-		st.emtEP[p] = pq.NewShared(emtPos)
-		st.lmtEP[p] = pq.NewShared(lmtPos)
+	emtPos []int
+	lmtPos []int
+
+	emtEP  []pq.Heap // per proc: EP tasks keyed by (EMT, -BL)
+	lmtEP  []pq.Heap // per proc: EP tasks keyed by (LMT, -BL)
+	nonEP  pq.Heap   // non-EP tasks keyed by (LMT, -BL)
+	active pq.Heap   // active procs keyed by (EST of head EP task, -BL(head))
+	all    pq.Heap   // all procs keyed by (PRT)
+
+	ready algo.ReadyTracker
+}
+
+// reset prepares the arena for one run of f over g on sys, writing the
+// placements into s. With sufficient capacity from a previous run it
+// performs no allocations (bottom levels come memoized from the graph).
+func (st *flbState) reset(f FLB, g *graph.Graph, sys machine.System, s *schedule.Schedule) {
+	n, p := g.NumTasks(), sys.P
+	st.g, st.sys, st.s = g, sys, s
+	st.bl = g.BottomLevels()
+	st.noBL, st.preferEP = f.NoBLTieBreak, f.PreferEPOnTie
+	st.lmt = growFloat(st.lmt, n)
+	st.emt = growFloat(st.emt, n)
+	clear(st.lmt)
+	clear(st.emt)
+	st.ep = growProc(st.ep, n)
+	for i := range st.ep {
+		st.ep[i] = -1
 	}
-	st.active = pq.New(sys.P)
-	st.all = pq.New(sys.P)
-	for p := 0; p < sys.P; p++ {
+	st.emtPos = pq.GrowPos(st.emtPos, n)
+	st.lmtPos = pq.GrowPos(st.lmtPos, n)
+	if cap(st.emtEP) < p {
+		emt := make([]pq.Heap, p)
+		lmt := make([]pq.Heap, p)
+		copy(emt, st.emtEP)
+		copy(lmt, st.lmtEP)
+		st.emtEP, st.lmtEP = emt, lmt
+	} else {
+		st.emtEP = st.emtEP[:p]
+		st.lmtEP = st.lmtEP[:p]
+	}
+	for i := 0; i < p; i++ {
+		st.emtEP[i].Init(st.emtPos)
+		st.lmtEP[i].Init(st.lmtPos)
+	}
+	st.nonEP.Grow(n)
+	st.active.Grow(p)
+	st.all.Grow(p)
+	st.ready.Reset(g)
+}
+
+// release drops the references tying the arena to the last run's graph
+// and caller-owned schedule, so a pooled arena does not keep them alive.
+func (st *flbState) release() {
+	st.g = nil
+	st.s = nil
+	st.bl = nil
+}
+
+// run executes the scheduling loop. The arena must be reset first.
+func (st *flbState) run(onStep func(Step)) {
+	n := st.g.NumTasks()
+	for p := 0; p < st.sys.P; p++ {
 		st.all.Push(p, pq.Key{Primary: 0})
 	}
 	// Entry tasks have no enabling processor; they are non-EP with LMT 0.
@@ -139,7 +187,7 @@ func (f FLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	}
 
 	for iter := 0; iter < n; iter++ {
-		t, p, est, ok := st.scheduleTask(f.OnStep)
+		t, p, est, ok := st.scheduleTask(onStep)
 		if !ok {
 			// Unreachable on a validated DAG: there is always a ready task.
 			panic("core: FLB ran out of ready tasks before scheduling all tasks")
@@ -149,7 +197,20 @@ func (f FLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 		st.updateProcLists(p)
 		st.updateReadyTasks(t)
 	}
-	return st.s, nil
+}
+
+func growFloat(v []float64, n int) []float64 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]float64, n)
+}
+
+func growProc(v []machine.Proc, n int) []machine.Proc {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]machine.Proc, n)
 }
 
 // estEP returns the estimated start time of EP task t on its enabling

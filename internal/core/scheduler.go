@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+
+	"flb/internal/algo"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+// statePool recycles FLB working arenas across the stateless
+// FLB.Schedule entry point, so a service scheduling many graphs (or a
+// benchmark loop) re-allocates neither heaps nor scratch arrays. Arenas
+// grow monotonically to the largest (V, P) they have seen.
+var statePool = sync.Pool{New: func() any { return new(flbState) }}
+
+// Scheduler is a reusable FLB arena for callers that schedule in a tight
+// loop and can accept a stronger aliasing contract than the stateless
+// FLB.Schedule: the returned schedule is owned by the Scheduler and valid
+// only until the next Schedule call, and all scratch state (heaps, ready
+// tracker, per-task arrays, the output schedule) is reused across calls.
+// On frozen graphs the steady-state cost is zero heap allocations.
+//
+// A Scheduler is not safe for concurrent use; use one per goroutine (the
+// bench harness keeps one per worker).
+type Scheduler struct {
+	cfg FLB
+	st  flbState
+	out *schedule.Schedule
+}
+
+// NewScheduler returns an empty arena running cfg's FLB variant.
+func NewScheduler(cfg FLB) *Scheduler {
+	return &Scheduler{cfg: cfg}
+}
+
+// Name returns the configured variant's display name.
+func (sc *Scheduler) Name() string { return sc.cfg.Name() }
+
+// Schedule maps every task of g onto sys, producing the same schedule as
+// FLB.Schedule with sc's configuration. The returned schedule is reused:
+// it is valid only until the next call on this Scheduler. Callers that
+// need to keep it should Clone it.
+func (sc *Scheduler) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	if err := algo.CheckInputs(g, sys); err != nil {
+		return nil, err
+	}
+	if sc.out == nil {
+		sc.out = schedule.New(g, sys)
+	} else {
+		sc.out.Reset(g, sys)
+	}
+	sc.out.Algorithm = sc.cfg.Name()
+	sc.st.reset(sc.cfg, g, sys, sc.out)
+	sc.st.run(sc.cfg.OnStep)
+	return sc.out, nil
+}

@@ -23,12 +23,12 @@ func (g *Graph) Granularity() float64 {
 	grain := -1.0
 	for id := range g.tasks {
 		maxComm := 0.0
-		for _, ei := range g.pred[id] {
+		for _, ei := range g.preds(id) {
 			if c := g.edges[ei].Comm; c > maxComm {
 				maxComm = c
 			}
 		}
-		for _, ei := range g.succ[id] {
+		for _, ei := range g.succs(id) {
 			if c := g.edges[ei].Comm; c > maxComm {
 				maxComm = c
 			}
@@ -58,7 +58,7 @@ func (g *Graph) ParallelismProfile() []int {
 	layer := make([]int, len(g.tasks))
 	maxLayer := -1
 	for _, id := range order {
-		for _, ei := range g.succ[id] {
+		for _, ei := range g.succs(id) {
 			to := g.edges[ei].To
 			if layer[id]+1 > layer[to] {
 				layer[to] = layer[id] + 1

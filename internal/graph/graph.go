@@ -8,11 +8,20 @@
 // path), the task-graph width W (both the exact maximum antichain via
 // Dilworth's theorem and a cheap upper bound), and a text serialization
 // format plus Graphviz DOT export.
+//
+// Adjacency is stored in CSR (compressed sparse row) form — one offsets
+// slice plus one packed edge-index slice per direction — so a task's
+// in/out edges are a contiguous, cache-local window of one array instead
+// of a per-task heap allocation. Frozen graphs additionally memoize the
+// derived data the schedulers recompute per run (topological order,
+// bottom levels, entry/exit sets, validation), which the benchmark
+// harness exploits by scheduling the same instance hundreds of times.
 package graph
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Task is a node of the task graph.
@@ -45,10 +54,28 @@ type Graph struct {
 	tasks []Task
 	edges []Edge
 
-	// Adjacency, built lazily by Freeze/ensureAdj.
-	succ  [][]int // successor edge indices per task
-	pred  [][]int // predecessor edge indices per task
-	dirty bool
+	// CSR adjacency, built lazily by Freeze/ensureAdj. succOff/predOff
+	// have length V+1; succAdj/predAdj pack the edge indices of each
+	// task's out/in edges contiguously, in increasing edge-index order
+	// (the insertion order, which the schedulers' tie-breaking relies on).
+	succOff []int
+	predOff []int
+	succAdj []int
+	predAdj []int
+	dirty   bool
+
+	// Memoized derived data; see the invalidation rules in mutated and
+	// weightsMutated. Lazily computed results are returned by reference,
+	// so callers must not modify them.
+	memoTopo  []int
+	memoBL    []float64
+	memoEntry []int
+	memoExit  []int
+	// validated records a successful Validate. It is atomic so that
+	// concurrent read-only use of a frozen graph (the documented contract
+	// of Freeze) stays race-free even when the first validation happens
+	// after Freeze.
+	validated atomic.Bool
 }
 
 // New returns an empty graph with the given name.
@@ -56,11 +83,28 @@ func New(name string) *Graph {
 	return &Graph{Name: name, dirty: true}
 }
 
+// mutated invalidates everything derived from the graph structure.
+func (g *Graph) mutated() {
+	g.dirty = true
+	g.memoTopo = nil
+	g.memoBL = nil
+	g.memoEntry = nil
+	g.memoExit = nil
+	g.validated.Store(false)
+}
+
+// weightsMutated invalidates the derived data that depends on task or
+// edge weights but not on the structure (adjacency and orders survive).
+func (g *Graph) weightsMutated() {
+	g.memoBL = nil
+	g.validated.Store(false)
+}
+
 // AddTask appends a task with the given computation cost and returns its ID.
 func (g *Graph) AddTask(comp float64) int {
 	id := len(g.tasks)
 	g.tasks = append(g.tasks, Task{ID: id, Name: fmt.Sprintf("t%d", id), Comp: comp})
-	g.dirty = true
+	g.mutated()
 	return id
 }
 
@@ -79,7 +123,7 @@ func (g *Graph) AddEdge(from, to int, comm float64) {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) with %d tasks", from, to, len(g.tasks)))
 	}
 	g.edges = append(g.edges, Edge{From: from, To: to, Comm: comm})
-	g.dirty = true
+	g.mutated()
 }
 
 // NumTasks returns V, the number of tasks.
@@ -98,43 +142,87 @@ func (g *Graph) Edge(i int) Edge { return g.edges[i] }
 func (g *Graph) Comp(id int) float64 { return g.tasks[id].Comp }
 
 // SetComp overwrites comp(t) for task id.
-func (g *Graph) SetComp(id int, c float64) { g.tasks[id].Comp = c }
+func (g *Graph) SetComp(id int, c float64) {
+	g.tasks[id].Comp = c
+	g.weightsMutated()
+}
 
 // SetComm overwrites comm for edge index i.
-func (g *Graph) SetComm(i int, c float64) { g.edges[i].Comm = c }
+func (g *Graph) SetComm(i int, c float64) {
+	g.edges[i].Comm = c
+	g.weightsMutated()
+}
 
+// ensureAdj builds the CSR adjacency: a counting pass over the edges, a
+// prefix sum, and a fill pass that preserves edge-index order within each
+// task's window.
 func (g *Graph) ensureAdj() {
 	if !g.dirty {
 		return
 	}
-	g.succ = make([][]int, len(g.tasks))
-	g.pred = make([][]int, len(g.tasks))
-	for i, e := range g.edges {
-		g.succ[e.From] = append(g.succ[e.From], i)
-		g.pred[e.To] = append(g.pred[e.To], i)
+	v, e := len(g.tasks), len(g.edges)
+	g.succOff = make([]int, v+1)
+	g.predOff = make([]int, v+1)
+	for _, ed := range g.edges {
+		g.succOff[ed.From+1]++
+		g.predOff[ed.To+1]++
+	}
+	for i := 0; i < v; i++ {
+		g.succOff[i+1] += g.succOff[i]
+		g.predOff[i+1] += g.predOff[i]
+	}
+	g.succAdj = make([]int, e)
+	g.predAdj = make([]int, e)
+	// next cursors: reuse the packed arrays' headroom via local copies of
+	// the offsets, so the fill stays a single linear pass.
+	nextS := make([]int, v)
+	nextP := make([]int, v)
+	copy(nextS, g.succOff[:v])
+	copy(nextP, g.predOff[:v])
+	for i, ed := range g.edges {
+		g.succAdj[nextS[ed.From]] = i
+		nextS[ed.From]++
+		g.predAdj[nextP[ed.To]] = i
+		nextP[ed.To]++
 	}
 	g.dirty = false
+}
+
+// succs returns the out-edge window of task id. Adjacency must be built.
+func (g *Graph) succs(id int) []int {
+	return g.succAdj[g.succOff[id]:g.succOff[id+1]:g.succOff[id+1]]
+}
+
+// preds returns the in-edge window of task id. Adjacency must be built.
+func (g *Graph) preds(id int) []int {
+	return g.predAdj[g.predOff[id]:g.predOff[id+1]:g.predOff[id+1]]
 }
 
 // SuccEdges returns the indices of the out-edges of task id. The returned
 // slice must not be modified.
 func (g *Graph) SuccEdges(id int) []int {
 	g.ensureAdj()
-	return g.succ[id]
+	return g.succs(id)
 }
 
 // PredEdges returns the indices of the in-edges of task id. The returned
 // slice must not be modified.
 func (g *Graph) PredEdges(id int) []int {
 	g.ensureAdj()
-	return g.pred[id]
+	return g.preds(id)
 }
 
 // OutDegree returns the number of successors of task id.
-func (g *Graph) OutDegree(id int) int { return len(g.SuccEdges(id)) }
+func (g *Graph) OutDegree(id int) int {
+	g.ensureAdj()
+	return g.succOff[id+1] - g.succOff[id]
+}
 
 // InDegree returns the number of predecessors of task id.
-func (g *Graph) InDegree(id int) int { return len(g.PredEdges(id)) }
+func (g *Graph) InDegree(id int) int {
+	g.ensureAdj()
+	return g.predOff[id+1] - g.predOff[id]
+}
 
 // IsEntry reports whether task id has no input edges.
 func (g *Graph) IsEntry(id int) bool { return g.InDegree(id) == 0 }
@@ -142,26 +230,34 @@ func (g *Graph) IsEntry(id int) bool { return g.InDegree(id) == 0 }
 // IsExit reports whether task id has no output edges.
 func (g *Graph) IsExit(id int) bool { return g.OutDegree(id) == 0 }
 
-// EntryTasks returns the IDs of all entry tasks in increasing order.
+// EntryTasks returns the IDs of all entry tasks in increasing order. The
+// returned slice is memoized and must not be modified.
 func (g *Graph) EntryTasks() []int {
-	var out []int
-	for id := range g.tasks {
-		if g.IsEntry(id) {
-			out = append(out, id)
+	g.ensureAdj()
+	if g.memoEntry == nil {
+		g.memoEntry = []int{} // memoize even when empty
+		for id := range g.tasks {
+			if g.IsEntry(id) {
+				g.memoEntry = append(g.memoEntry, id)
+			}
 		}
 	}
-	return out
+	return g.memoEntry
 }
 
-// ExitTasks returns the IDs of all exit tasks in increasing order.
+// ExitTasks returns the IDs of all exit tasks in increasing order. The
+// returned slice is memoized and must not be modified.
 func (g *Graph) ExitTasks() []int {
-	var out []int
-	for id := range g.tasks {
-		if g.IsExit(id) {
-			out = append(out, id)
+	g.ensureAdj()
+	if g.memoExit == nil {
+		g.memoExit = []int{}
+		for id := range g.tasks {
+			if g.IsExit(id) {
+				g.memoExit = append(g.memoExit, id)
+			}
 		}
 	}
-	return out
+	return g.memoExit
 }
 
 // TotalComp returns the sum of all computation costs — the sequential
@@ -207,6 +303,7 @@ func (g *Graph) ScaleComm(f float64) {
 	for i := range g.edges {
 		g.edges[i].Comm *= f
 	}
+	g.weightsMutated()
 }
 
 // SetCCR rescales all communication costs so that CCR() == target.
@@ -219,12 +316,23 @@ func (g *Graph) SetCCR(target float64) {
 	g.ScaleComm(target / cur)
 }
 
-// Freeze builds the lazy adjacency indexes now. A Graph is not safe for
-// concurrent use while those indexes are first materialized; calling
-// Freeze once (after the last AddTask/AddEdge/SetComp/SetComm) makes all
-// read-only methods — and therefore every scheduler in this module —
-// safe to run concurrently on the same graph.
-func (g *Graph) Freeze() { g.ensureAdj() }
+// Freeze builds the adjacency indexes and — on acyclic graphs — the
+// memoized derived data (topological order, bottom levels, entry/exit
+// sets, validation) now. A Graph is not safe for concurrent use while
+// those caches are first materialized; calling Freeze once (after the
+// last AddTask/AddEdge/SetComp/SetComm) makes all read-only methods —
+// and therefore every scheduler in this module — safe to run concurrently
+// on the same graph, and makes repeated scheduling of the same instance
+// skip the O(V+E) recomputation of levels and orders.
+func (g *Graph) Freeze() {
+	g.ensureAdj()
+	g.EntryTasks()
+	g.ExitTasks()
+	if _, err := g.TopoOrder(); err == nil {
+		g.BottomLevels()
+		_ = g.Validate() // memoizes success; an invalid graph stays lazy
+	}
+}
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {

@@ -14,8 +14,13 @@ package graph
 //
 // All are computed in O(V + E) over a topological order.
 
-// BottomLevels returns BL(t) for every task.
+// BottomLevels returns BL(t) for every task. The result is memoized until
+// the graph structure or its weights change; the returned slice must not
+// be modified.
 func (g *Graph) BottomLevels() []float64 {
+	if g.memoBL != nil {
+		return g.memoBL
+	}
 	order, err := g.TopoOrder()
 	if err != nil {
 		panic(err) // callers must Validate first; a cycle is a caller bug
@@ -24,7 +29,7 @@ func (g *Graph) BottomLevels() []float64 {
 	for i := len(order) - 1; i >= 0; i-- {
 		id := order[i]
 		best := 0.0
-		for _, ei := range g.succ[id] {
+		for _, ei := range g.succs(id) {
 			e := g.edges[ei]
 			if v := e.Comm + bl[e.To]; v > best {
 				best = v
@@ -32,6 +37,7 @@ func (g *Graph) BottomLevels() []float64 {
 		}
 		bl[id] = g.tasks[id].Comp + best
 	}
+	g.memoBL = bl
 	return bl
 }
 
@@ -43,7 +49,7 @@ func (g *Graph) TopLevels() []float64 {
 	}
 	tl := make([]float64, len(g.tasks))
 	for _, id := range order {
-		for _, ei := range g.succ[id] {
+		for _, ei := range g.succs(id) {
 			e := g.edges[ei]
 			if v := tl[id] + g.tasks[id].Comp + e.Comm; v > tl[e.To] {
 				tl[e.To] = v
@@ -64,7 +70,7 @@ func (g *Graph) StaticLevels() []float64 {
 	for i := len(order) - 1; i >= 0; i-- {
 		id := order[i]
 		best := 0.0
-		for _, ei := range g.succ[id] {
+		for _, ei := range g.succs(id) {
 			if v := sl[g.edges[ei].To]; v > best {
 				best = v
 			}

@@ -10,13 +10,18 @@ var ErrCycle = errors.New("graph: cycle detected")
 
 // TopoOrder returns a topological order of the task IDs (Kahn's algorithm,
 // smallest-ID-first among simultaneously available tasks, so the order is
-// deterministic). It returns ErrCycle if the graph has a cycle.
+// deterministic). It returns ErrCycle if the graph has a cycle. The result
+// is memoized until the graph structure changes; the returned slice must
+// not be modified.
 func (g *Graph) TopoOrder() ([]int, error) {
 	g.ensureAdj()
+	if g.memoTopo != nil {
+		return g.memoTopo, nil
+	}
 	n := len(g.tasks)
 	indeg := make([]int, n)
 	for id := 0; id < n; id++ {
-		indeg[id] = len(g.pred[id])
+		indeg[id] = len(g.preds(id))
 	}
 	// A simple FIFO queue keeps the order deterministic; entry tasks are
 	// seeded in increasing ID order.
@@ -31,7 +36,7 @@ func (g *Graph) TopoOrder() ([]int, error) {
 		id := queue[0]
 		queue = queue[1:]
 		order = append(order, id)
-		for _, ei := range g.succ[id] {
+		for _, ei := range g.succs(id) {
 			to := g.edges[ei].To
 			indeg[to]--
 			if indeg[to] == 0 {
@@ -42,13 +47,19 @@ func (g *Graph) TopoOrder() ([]int, error) {
 	if len(order) != n {
 		return nil, ErrCycle
 	}
+	g.memoTopo = order
 	return order, nil
 }
 
 // Validate checks structural sanity: edge endpoints in range, non-negative
 // weights, no self-loops, no duplicate edges, and acyclicity. It returns a
-// descriptive error for the first violation found.
+// descriptive error for the first violation found. A successful validation
+// is memoized until the graph changes, so the per-Schedule CheckInputs of
+// the algorithms costs nothing on a frozen, already-validated graph.
 func (g *Graph) Validate() error {
+	if g.validated.Load() {
+		return nil
+	}
 	n := len(g.tasks)
 	seen := make(map[[2]int]bool, len(g.edges))
 	for i, e := range g.edges {
@@ -75,6 +86,7 @@ func (g *Graph) Validate() error {
 	if _, err := g.TopoOrder(); err != nil {
 		return fmt.Errorf("graph %q: %w", g.Name, err)
 	}
+	g.validated.Store(true)
 	return nil
 }
 

@@ -1,0 +1,152 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzHeap drives two heaps sharing one position store through a random
+// operation sequence and checks them against a map-based reference model:
+// membership, keys, and — after every mutation batch — the full pop order
+// against a sort by the same (primary, secondary, id) total order. It also
+// exercises Reset-and-reuse, the lifecycle the scheduler arenas depend on.
+func FuzzHeap(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 2, 3, 0, 9, 0, 17, 4, 4})
+	f.Add([]byte{9, 0, 8, 1, 7, 2, 6, 3, 5, 4, 0xff, 0xfe})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 16 // id universe; small so collisions are common
+		pos := NewPos(n)
+		heaps := [2]*Heap{NewShared(pos), NewShared(pos)}
+		models := [2]map[int]Key{{}, {}}
+
+		next := func(i *int) byte {
+			if *i >= len(data) {
+				return 0
+			}
+			b := data[*i]
+			*i++
+			return b
+		}
+		for i := 0; i < len(data); {
+			op := next(&i)
+			h := int(op>>6) & 1 // which heap
+			id := int(next(&i)) % n
+			key := Key{Primary: float64(next(&i) % 8), Secondary: float64(next(&i) % 4)}
+			switch op % 5 {
+			case 0:
+				// Push is only legal for absent ids: an id may live in at
+				// most one heap of a shared store at a time.
+				if !heaps[0].Contains(id) && !heaps[1].Contains(id) {
+					heaps[h].Push(id, key)
+					models[h][id] = key
+				}
+			case 1:
+				id2, k2, ok := heaps[h].Pop()
+				if ok != (len(models[h]) > 0) {
+					t.Fatalf("Pop ok=%v with %d modeled entries", ok, len(models[h]))
+				}
+				if !ok {
+					break
+				}
+				wantID, wantKey := minOf(models[h])
+				if id2 != wantID || k2 != wantKey {
+					t.Fatalf("Pop = (%d, %+v), reference model says (%d, %+v)", id2, k2, wantID, wantKey)
+				}
+				delete(models[h], id2)
+			case 2:
+				removed := heaps[h].Remove(id)
+				if _, inModel := models[h][id]; removed != inModel {
+					t.Fatalf("Remove(%d) = %v, model membership %v", id, removed, inModel)
+				}
+				delete(models[h], id)
+			case 3:
+				if heaps[h].Contains(id) {
+					heaps[h].Update(id, key)
+					models[h][id] = key
+				}
+			case 4:
+				if !heaps[0].Contains(id) && !heaps[1].Contains(id) || heaps[h].Contains(id) {
+					heaps[h].PushOrUpdate(id, key)
+					models[h][id] = key
+				}
+			}
+			check(t, heaps[0], models[0])
+			check(t, heaps[1], models[1])
+		}
+
+		// Drain both heaps and compare the complete pop order against the
+		// reference sort; then Reset and reuse, which must behave like new.
+		for round := 0; round < 2; round++ {
+			for h := range heaps {
+				want := sortedIDs(models[h])
+				for _, wid := range want {
+					id, key, ok := heaps[h].Pop()
+					if !ok || id != wid || key != models[h][wid] {
+						t.Fatalf("drain: Pop = (%d, ok=%v), want id %d", id, ok, wid)
+					}
+				}
+				if !heaps[h].Empty() {
+					t.Fatalf("heap %d not empty after draining the model", h)
+				}
+			}
+			if round == 1 {
+				break
+			}
+			heaps[0].Reset()
+			heaps[1].Reset()
+			for h := range heaps {
+				models[h] = map[int]Key{}
+			}
+			// Refill after Reset from whatever bytes remain (or a fixed
+			// pattern for short inputs) to prove the store was cleaned.
+			for j := 0; j < n; j += 2 {
+				k := Key{Primary: float64((j * 7) % 5), Secondary: float64(j % 3)}
+				heaps[j%2].Push(j, k)
+				models[j%2][j] = k
+			}
+		}
+	})
+}
+
+// check validates heap h against its model: size, membership and keys.
+func check(t *testing.T, h *Heap, model map[int]Key) {
+	t.Helper()
+	if h.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", h.Len(), len(model))
+	}
+	for id, k := range model {
+		if !h.Contains(id) {
+			t.Fatalf("heap lost id %d", id)
+		}
+		if got := h.Key(id); got != k {
+			t.Fatalf("Key(%d) = %+v, model %+v", id, got, k)
+		}
+	}
+}
+
+// minOf returns the model entry that Key.Less orders first.
+func minOf(model map[int]Key) (int, Key) {
+	first := true
+	var bestID int
+	var bestKey Key
+	for id, k := range model {
+		if first || k.Less(id, bestKey, bestID) {
+			bestID, bestKey, first = id, k, false
+		}
+	}
+	return bestID, bestKey
+}
+
+// sortedIDs returns the model's ids in Key.Less order — the exact pop
+// order any correct heap must produce, independent of its arity.
+func sortedIDs(model map[int]Key) []int {
+	ids := make([]int, 0, len(model))
+	for id := range model {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return model[ids[a]].Less(ids[a], model[ids[b]], ids[b])
+	})
+	return ids
+}

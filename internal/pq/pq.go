@@ -1,13 +1,21 @@
-// Package pq provides indexed binary min-heaps used by the scheduling
+// Package pq provides indexed min-heaps used by the scheduling
 // algorithms in this module.
 //
 // The paper's pseudocode manipulates sorted lists through four operations:
 // Enqueue, Dequeue (pop the head), RemoveItem (delete by identity) and
 // BalanceList (re-establish order after a priority change). An indexed
-// binary heap supports all four in O(log n), which is exactly what the
+// heap supports all four in O(log n), which is exactly what the
 // complexity analysis of FLB assumes. Items are identified by small
 // non-negative integer ids (task ids or processor ids), so the position
 // index is a dense slice rather than a map.
+//
+// The implementation is a cache-friendly flat 4-ary heap: ids and the two
+// key components live in parallel slices rather than a slice of structs,
+// so sift-down touches one contiguous run of four children per level and
+// the tree is half as deep as a binary heap's. The pop order is defined
+// entirely by Key.Less — a total order — so it is independent of the heap
+// arity and layout; switching the representation cannot change which item
+// any Peek/Pop returns.
 package pq
 
 // Key is a lexicographic priority: smaller keys are dequeued first.
@@ -34,16 +42,20 @@ func (k Key) Less(id int, other Key, otherID int) bool {
 	return id < otherID
 }
 
-type entry struct {
-	id  int
-	key Key
-}
+// arity is the branching factor. Four children per node halves the tree
+// depth of a binary heap while still letting sift-down scan all children
+// from one cache line of the key slice.
+const arity = 4
 
-// Heap is an indexed binary min-heap over items with dense integer ids in
-// [0, capacity). The zero value is not usable; construct with New.
+// Heap is an indexed 4-ary min-heap over items with dense integer ids in
+// [0, capacity). The zero value is an empty heap with no position store;
+// construct with New, NewShared, or (for reusable arenas) Init.
 type Heap struct {
-	items []entry
-	// pos[id] is the index of id in items, or -1 if id is not enqueued.
+	ids  []int
+	prim []float64
+	sec  []float64
+	// pos[id] is the index of id in this heap (or a sibling heap sharing
+	// the store), or -1 if id is not enqueued.
 	pos []int
 }
 
@@ -55,7 +67,19 @@ func New(capacity int) *Heap {
 // NewPos returns a position store for ids in [0, capacity), for use with
 // NewShared.
 func NewPos(capacity int) []int {
-	pos := make([]int, capacity)
+	return GrowPos(nil, capacity)
+}
+
+// GrowPos returns a cleared position store (every entry -1) for ids in
+// [0, capacity), reusing pos's backing array when it is large enough.
+// It is the allocation-free path for scheduler arenas that run many times
+// over graphs of similar size.
+func GrowPos(pos []int, capacity int) []int {
+	if cap(pos) >= capacity {
+		pos = pos[:capacity]
+	} else {
+		pos = make([]int, capacity)
+	}
 	for i := range pos {
 		pos[i] = -1
 	}
@@ -72,18 +96,49 @@ func NewShared(pos []int) *Heap {
 	return &Heap{pos: pos}
 }
 
+// Init empties the heap, keeps its item capacity, and binds it to pos,
+// which must already be cleared for every id this heap held (GrowPos
+// clears the whole store). It makes heap values embedded in scheduler
+// arenas reusable without reallocation.
+func (h *Heap) Init(pos []int) {
+	h.ids = h.ids[:0]
+	h.prim = h.prim[:0]
+	h.sec = h.sec[:0]
+	h.pos = pos
+}
+
+// Reset empties the heap in place, clearing the position entries of the
+// items it holds (so it is safe with a shared store) and keeping all
+// capacity for reuse. The heap must be re-grown with Grow before ids
+// beyond its current position-store capacity are pushed.
+func (h *Heap) Reset() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.prim = h.prim[:0]
+	h.sec = h.sec[:0]
+}
+
+// Grow empties the heap and ensures its (non-shared) position store covers
+// ids in [0, capacity), reallocating only when the capacity grows. Heaps
+// sharing a store should instead pass a GrowPos'd store to Init.
+func (h *Heap) Grow(capacity int) {
+	h.Init(GrowPos(h.pos, capacity))
+}
+
 // Len returns the number of enqueued items.
-func (h *Heap) Len() int { return len(h.items) }
+func (h *Heap) Len() int { return len(h.ids) }
 
 // Empty reports whether the heap holds no items.
-func (h *Heap) Empty() bool { return len(h.items) == 0 }
+func (h *Heap) Empty() bool { return len(h.ids) == 0 }
 
 // indexOf returns id's index in this heap, or -1. With a shared position
-// store, pos[id] may refer to a sibling heap's slot; the items check
+// store, pos[id] may refer to a sibling heap's slot; the ids check
 // filters that out.
 func (h *Heap) indexOf(id int) int {
 	p := h.pos[id]
-	if p < 0 || p >= len(h.items) || h.items[p].id != id {
+	if p < 0 || p >= len(h.ids) || h.ids[p] != id {
 		return -1
 	}
 	return p
@@ -98,7 +153,7 @@ func (h *Heap) Key(id int) Key {
 	if p < 0 {
 		panic("pq: Key of item not in heap")
 	}
-	return h.items[p].key
+	return Key{Primary: h.prim[p], Secondary: h.sec[p]}
 }
 
 // Push inserts id with the given key. It panics if id is already enqueued;
@@ -107,29 +162,31 @@ func (h *Heap) Push(id int, key Key) {
 	if h.indexOf(id) >= 0 {
 		panic("pq: Push of item already in heap")
 	}
-	h.items = append(h.items, entry{id: id, key: key})
-	h.pos[id] = len(h.items) - 1
-	h.up(len(h.items) - 1)
+	h.ids = append(h.ids, id)
+	h.prim = append(h.prim, key.Primary)
+	h.sec = append(h.sec, key.Secondary)
+	h.pos[id] = len(h.ids) - 1
+	h.up(len(h.ids) - 1)
 }
 
 // Peek returns the id and key of the minimum item without removing it.
 // ok is false when the heap is empty.
 func (h *Heap) Peek() (id int, key Key, ok bool) {
-	if len(h.items) == 0 {
+	if len(h.ids) == 0 {
 		return 0, Key{}, false
 	}
-	return h.items[0].id, h.items[0].key, true
+	return h.ids[0], Key{Primary: h.prim[0], Secondary: h.sec[0]}, true
 }
 
 // Pop removes and returns the minimum item. ok is false when the heap is
 // empty.
 func (h *Heap) Pop() (id int, key Key, ok bool) {
-	if len(h.items) == 0 {
+	if len(h.ids) == 0 {
 		return 0, Key{}, false
 	}
-	top := h.items[0]
+	id, key = h.ids[0], Key{Primary: h.prim[0], Secondary: h.sec[0]}
 	h.removeAt(0)
-	return top.id, top.key, true
+	return id, key, true
 }
 
 // Remove deletes id from the heap if present and reports whether it was.
@@ -149,7 +206,8 @@ func (h *Heap) Update(id int, key Key) {
 	if p < 0 {
 		panic("pq: Update of item not in heap")
 	}
-	h.items[p].key = key
+	h.prim[p] = key.Primary
+	h.sec[p] = key.Secondary
 	if !h.up(p) {
 		h.down(p)
 	}
@@ -167,22 +225,24 @@ func (h *Heap) PushOrUpdate(id int, key Key) {
 // Items returns the ids currently enqueued, in unspecified order. It is
 // used by trace instrumentation to dump list contents; callers sort by Key.
 func (h *Heap) Items() []int {
-	out := make([]int, len(h.items))
-	for i, it := range h.items {
-		out[i] = it.id
-	}
+	out := make([]int, len(h.ids))
+	copy(out, h.ids)
 	return out
 }
 
 func (h *Heap) removeAt(p int) {
-	last := len(h.items) - 1
-	h.pos[h.items[p].id] = -1
+	last := len(h.ids) - 1
+	h.pos[h.ids[p]] = -1
 	if p != last {
-		h.items[p] = h.items[last]
-		h.pos[h.items[p].id] = p
+		h.ids[p] = h.ids[last]
+		h.prim[p] = h.prim[last]
+		h.sec[p] = h.sec[last]
+		h.pos[h.ids[p]] = p
 	}
-	h.items = h.items[:last]
-	if p < len(h.items) {
+	h.ids = h.ids[:last]
+	h.prim = h.prim[:last]
+	h.sec = h.sec[:last]
+	if p < len(h.ids) {
 		if !h.up(p) {
 			h.down(p)
 		}
@@ -190,20 +250,28 @@ func (h *Heap) removeAt(p int) {
 }
 
 func (h *Heap) less(i, j int) bool {
-	return h.items[i].key.Less(h.items[i].id, h.items[j].key, h.items[j].id)
+	if h.prim[i] != h.prim[j] {
+		return h.prim[i] < h.prim[j]
+	}
+	if h.sec[i] != h.sec[j] {
+		return h.sec[i] < h.sec[j]
+	}
+	return h.ids[i] < h.ids[j]
 }
 
 func (h *Heap) swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.pos[h.items[i].id] = i
-	h.pos[h.items[j].id] = j
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prim[i], h.prim[j] = h.prim[j], h.prim[i]
+	h.sec[i], h.sec[j] = h.sec[j], h.sec[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
 }
 
 // up sifts the item at index i toward the root and reports whether it moved.
 func (h *Heap) up(i int) bool {
 	moved := false
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / arity
 		if !h.less(i, parent) {
 			break
 		}
@@ -216,15 +284,21 @@ func (h *Heap) up(i int) bool {
 
 // down sifts the item at index i toward the leaves.
 func (h *Heap) down(i int) {
-	n := len(h.items)
+	n := len(h.ids)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := arity*i + 1
+		if first >= n {
 			return
 		}
-		smallest := left
-		if right := left + 1; right < n && h.less(right, left) {
-			smallest = right
+		end := first + arity
+		if end > n {
+			end = n
+		}
+		smallest := first
+		for c := first + 1; c < end; c++ {
+			if h.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if !h.less(smallest, i) {
 			return

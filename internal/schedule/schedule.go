@@ -62,6 +62,56 @@ func New(g *graph.Graph, sys machine.System) *Schedule {
 	return s
 }
 
+// Reset re-targets s at g on sys and clears every placement, reusing the
+// schedule's backing arrays. It is the allocation-free alternative to New
+// for scheduler arenas that produce many schedules in sequence; after a
+// Reset, any previously returned views (PlacementOrder, TasksOn) are
+// invalid.
+func (s *Schedule) Reset(g *graph.Graph, sys machine.System) {
+	if err := sys.Validate(); err != nil {
+		panic(err)
+	}
+	n := g.NumTasks()
+	s.Algorithm = ""
+	s.g = g
+	s.sys = sys
+	s.proc = growProc(s.proc, n)
+	for i := range s.proc {
+		s.proc[i] = Unassigned
+	}
+	s.start = growFloat(s.start, n)
+	s.finish = growFloat(s.finish, n)
+	clear(s.start)
+	clear(s.finish)
+	if cap(s.order) >= sys.P {
+		s.order = s.order[:sys.P]
+	} else {
+		s.order = append(s.order[:cap(s.order)], make([][]int, sys.P-cap(s.order))...)
+	}
+	for p := range s.order {
+		s.order[p] = s.order[p][:0]
+	}
+	s.prt = growFloat(s.prt, sys.P)
+	clear(s.prt)
+	s.placed = 0
+	s.seq = s.seq[:0]
+	s.dups = nil
+}
+
+func growProc(v []machine.Proc, n int) []machine.Proc {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]machine.Proc, n)
+}
+
+func growFloat(v []float64, n int) []float64 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]float64, n)
+}
+
 // Graph returns the scheduled task graph.
 func (s *Schedule) Graph() *graph.Graph { return s.g }
 
