@@ -1,0 +1,35 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml):
+# the lint job gates build and test.
+
+GO ?= go
+
+.PHONY: all lint fmt vet flblint build test race bench clean
+
+all: lint build test
+
+lint: fmt vet flblint
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+flblint:
+	$(GO) run ./cmd/flblint ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'Fig2|Scaling' -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,79 @@
+// Command flblint machine-checks the module's determinism, zero-alloc
+// and arena-reuse invariants with the analyzer suite of internal/lint:
+//
+//	nomapiter      no range-over-map / multi-ready select in
+//	               determinism-critical packages
+//	resetcomplete  pooled arena types fully reinitialize in Reset
+//	hotpathalloc   //flb:hotpath functions stay allocation-free
+//	floatcmp       no exact float comparison of computed schedule times
+//
+// Usage:
+//
+//	flblint [-C dir] [-only analyzer] [packages]
+//
+// Packages default to ./... and are resolved by the go tool. The exit
+// status is 1 when findings are reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flb/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("flblint", flag.ContinueOnError)
+	dir := fs.String("C", ".", "change to `dir` before resolving package patterns")
+	only := fs.String("only", "", "run a single `analyzer` (comma-separated list)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			found := false
+			for _, a := range lint.All() {
+				if a.Name == name {
+					analyzers = append(analyzers, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "flblint: unknown analyzer %q\n", name)
+				return 2
+			}
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flblint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "flblint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "flblint-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	code := run(args, f)
+	out, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out)
+}
+
+// TestTreeIsClean is the end-to-end smoke test of the acceptance
+// criterion: `flblint ./...` over the module exits zero.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	code, out := capture(t, []string{"-C", moduleRoot(t), "./..."})
+	if code != 0 {
+		t.Fatalf("flblint ./... exited %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	// The seeded-violation fixtures live under testdata, which the go tool
+	// skips; pointing flblint directly at one must produce findings.
+	dir := filepath.Join(moduleRoot(t), "internal", "lint", "testdata", "floatcmp")
+	code, out := capture(t, []string{"-C", dir, "./a"})
+	if code != 1 {
+		t.Fatalf("flblint on seeded violations exited %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "floatcmp") || !strings.Contains(out, "finding(s)") {
+		t.Errorf("missing diagnostics or summary in output:\n%s", out)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"nomapiter", "resetcomplete", "hotpathalloc", "floatcmp"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	if code, _ := capture(t, []string{"-only", "nope"}); code != 2 {
+		t.Errorf("unknown -only analyzer exited %d, want 2", code)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd))
+}

@@ -54,7 +54,8 @@ func CheckInputs(g *graph.Graph, sys machine.System) error {
 type ReadyTracker struct {
 	g       *graph.Graph
 	pending []int // unscheduled predecessor count per task
-	newly   []int // scratch reused by Complete
+	//flb:keep scratch truncated to length 0 at the top of every Complete; stale contents are never read
+	newly []int // scratch reused by Complete
 }
 
 // NewReadyTracker returns a tracker for g. Initial returns the entry tasks.
@@ -85,6 +86,8 @@ func (rt *ReadyTracker) Initial() []int { return rt.g.EntryTasks() }
 // Complete marks t as scheduled and returns the tasks that become ready as
 // a consequence, in successor-edge order. The returned slice is reused by
 // the next Complete call; callers must consume (or copy) it first.
+//
+//flb:hotpath
 func (rt *ReadyTracker) Complete(t int) []int {
 	rt.newly = rt.newly[:0]
 	for _, ei := range rt.g.SuccEdges(t) {
@@ -94,6 +97,7 @@ func (rt *ReadyTracker) Complete(t int) []int {
 			rt.newly = append(rt.newly, to)
 		}
 		if rt.pending[to] < 0 {
+			//flb:alloc-ok unreachable on validated DAGs; the message is built only when about to crash
 			panic(fmt.Sprintf("algo: task %d completed more times than it has predecessors", to))
 		}
 	}

@@ -43,6 +43,7 @@ func (d DLS) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 				est := s.EST(t, p)
 				dl := sl[t] - est
 				better := bestIdx == -1 || dl > bestDL
+				//flb:exact dynamic-level ties fire only on bit-identical values; ids then give a total order
 				if !better && dl == bestDL {
 					bt := ready[bestIdx]
 					// Deterministic ties: smaller task id, then processor.

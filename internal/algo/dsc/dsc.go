@@ -94,6 +94,7 @@ func Run(g *graph.Graph) (*cluster.Clustering, error) {
 			// Keep the merge minimizing the start time. On a tie, prefer
 			// merging over a fresh cluster (zeroing communication costs
 			// nothing and saves a processor), then the smaller cluster id.
+			//flb:exact cluster ties fire only on bit-identical start times; both arise from the same max chain
 			if st < bestStart || (st == bestStart && (bestCluster == -1 || cl < bestCluster)) {
 				bestCluster, bestStart = cl, st
 			}

@@ -21,7 +21,12 @@ type DSCLLB struct {
 }
 
 // Name implements the Algorithm interface.
-func (DSCLLB) Name() string { return "DSC-LLB" }
+func (d DSCLLB) Name() string {
+	if d.LLB.Order == llb.SmallestBL {
+		return "DSC-LLB-small"
+	}
+	return "DSC-LLB"
+}
 
 // Schedule implements the Algorithm interface.
 func (d DSCLLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {

@@ -35,6 +35,13 @@ type etfState struct {
 
 var statePool = sync.Pool{New: func() any { return new(etfState) }}
 
+// reset re-targets the arena at g, reusing backing arrays. The ready list
+// is truncated; Schedule refills it from the tracker's initial set.
+func (st *etfState) reset(g *graph.Graph) {
+	st.rt.Reset(g)
+	st.ready = st.ready[:0]
+}
+
 // Schedule implements the Algorithm interface.
 func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
 	if err := algo.CheckInputs(g, sys); err != nil {
@@ -46,9 +53,9 @@ func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	// (paper §6.2); we use bottom levels, larger first.
 	bl := g.BottomLevels()
 	st := statePool.Get().(*etfState)
+	st.reset(g)
 	rt := &st.rt
-	rt.Reset(g)
-	ready := append(st.ready[:0], rt.Initial()...)
+	ready := append(st.ready, rt.Initial()...)
 
 	for s.Graph().NumTasks() > 0 && !s.Complete() {
 		bestIdx, bestProc := -1, -1
@@ -57,10 +64,12 @@ func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 			for p := 0; p < sys.P; p++ {
 				est := s.EST(t, p)
 				better := bestIdx == -1 || est < bestEST
+				//flb:exact tie-breaking fires only on bit-identical ESTs, matching the heap comparators
 				if !better && est == bestEST {
 					bt := ready[bestIdx]
 					// Tie: larger bottom level, then smaller task id, then
 					// smaller processor id — fully deterministic.
+					//flb:exact exact bottom-level comparison defines the deterministic total order
 					if bl[t] != bl[bt] {
 						better = bl[t] > bl[bt]
 					} else if t != bt {

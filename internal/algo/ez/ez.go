@@ -44,6 +44,7 @@ func Run(g *graph.Graph) (*cluster.Clustering, error) {
 	}
 	sort.Slice(order, func(a, b int) bool {
 		ca, cb := g.Edge(order[a]).Comm, g.Edge(order[b]).Comm
+		//flb:exact sort comparator over stored (not computed) costs; equal costs fall to the index tie-break
 		if ca != cb {
 			return ca > cb
 		}

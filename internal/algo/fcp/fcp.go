@@ -43,6 +43,14 @@ type fcpState struct {
 
 var statePool = sync.Pool{New: func() any { return new(fcpState) }}
 
+// reset re-targets the arena at a run over g on p processors, emptying the
+// heaps and tracker while keeping their capacity.
+func (st *fcpState) reset(g *graph.Graph, p int) {
+	st.readyQ.Grow(g.NumTasks())
+	st.procQ.Grow(p)
+	st.rt.Reset(g)
+}
+
 // Schedule implements the Algorithm interface.
 func (f FCP) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
 	if err := algo.CheckInputs(g, sys); err != nil {
@@ -50,21 +58,18 @@ func (f FCP) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	}
 	s := schedule.New(g, sys)
 	s.Algorithm = f.Name()
-	n := g.NumTasks()
 	bl := g.BottomLevels()
 
 	st := statePool.Get().(*fcpState)
 	defer statePool.Put(st)
+	st.reset(g, sys.P)
 	readyQ := &st.readyQ // keyed by -BL: most critical first
-	readyQ.Grow(n)
 	rt := &st.rt
-	rt.Reset(g)
 	for _, t := range rt.Initial() {
 		readyQ.Push(t, pq.Key{Primary: -bl[t]})
 	}
 	// Processors keyed by PRT: the head is the earliest-idle processor.
 	procQ := &st.procQ
-	procQ.Grow(sys.P)
 	for p := 0; p < sys.P; p++ {
 		procQ.Push(p, pq.Key{Primary: 0})
 	}
@@ -103,6 +108,7 @@ func enablingProc(g *graph.Graph, s *schedule.Schedule, sys machine.System, t in
 		e := g.Edge(ei)
 		arrive := s.Finish(e.From) + sys.RemoteCost(e.Comm)
 		p := s.Proc(e.From)
+		//flb:exact arrival ties compare bit-identical finish+comm sums, as in FLB's classifyReady
 		if arrive > last || (arrive == last && p < ep) {
 			last, ep = arrive, p
 		}

@@ -33,6 +33,13 @@ type mcpState struct {
 
 var statePool = sync.Pool{New: func() any { return new(mcpState) }}
 
+// reset re-targets the arena at g, emptying the ready queue and tracker
+// while keeping their capacity.
+func (st *mcpState) reset(g *graph.Graph) {
+	st.readyQ.Grow(g.NumTasks())
+	st.rt.Reset(g)
+}
+
 // TieBreak selects how MCP orders tasks with equal ALAP time.
 type TieBreak int
 
@@ -77,7 +84,6 @@ func (m MCP) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	}
 	s := schedule.New(g, sys)
 	s.Algorithm = m.Name()
-	n := g.NumTasks()
 	alap := g.ALAPTimes()
 	rank := m.tieRank(g, alap)
 
@@ -87,10 +93,9 @@ func (m MCP) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	// cases correct.
 	st := statePool.Get().(*mcpState)
 	defer statePool.Put(st)
+	st.reset(g)
 	readyQ := &st.readyQ
-	readyQ.Grow(n)
 	rt := &st.rt
-	rt.Reset(g)
 	for _, t := range rt.Initial() {
 		readyQ.Push(t, pq.Key{Primary: alap[t], Secondary: rank[t]})
 	}
@@ -158,6 +163,9 @@ func (m MCP) tieRank(g *graph.Graph, alap []float64) []float64 {
 	return rank
 }
 
+// lexLess orders two sorted ALAP lists lexicographically.
+//
+//flb:exact lexicographic comparator: equal elements must fall through to the next position exactly
 func lexLess(a, b []float64) bool {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {

@@ -118,6 +118,10 @@ func score(s *schedule.Schedule) [2]float64 {
 	return [2]float64{s.Makespan(), sq}
 }
 
+// scoreLess compares scores with an epsilon so float noise from summing
+// squared ready times cannot flip the accept decision.
+//
+//flb:exact the equality test only gates which epsilon comparison runs; acceptance itself is epsilon-guarded
 func scoreLess(a, b [2]float64) bool {
 	if a[0] != b[0] {
 		return a[0] < b[0]-1e-12

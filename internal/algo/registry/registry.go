@@ -29,7 +29,7 @@ import (
 // (Fig. 4: MCP, ETF, DSC-LLB, FCP, FLB), followed by the extension
 // baselines.
 func Names() []string {
-	return []string{"mcp", "etf", "dsc-llb", "fcp", "flb", "dls", "hlfet", "ez-llb", "lc-llb", "dsh", "flb-ls", "fcp-ls", "mcp-desc", "mcp-ins", "flb-nobl", "flb-eptie"}
+	return []string{"mcp", "etf", "dsc-llb", "fcp", "flb", "dls", "hlfet", "ez-llb", "lc-llb", "dsh", "flb-ls", "fcp-ls", "mcp-desc", "mcp-ins", "flb-nobl", "flb-eptie", "dsc-llb-small"}
 }
 
 // PaperNames returns only the algorithms measured in the paper's Fig. 2
@@ -64,6 +64,10 @@ func New(name string, seed int64) (algo.Algorithm, error) {
 		return hlfet.HLFET{}, nil
 	case "dsc-llb", "dscllb":
 		return dscllb.DSCLLB{}, nil
+	case "dsc-llb-small":
+		// LLB's low-priority candidate order (§3.3): covers the mapping
+		// step's second configuration in the determinism suite.
+		return dscllb.DSCLLB{LLB: llb.LLB{Order: llb.SmallestBL}}, nil
 	case "ez-llb":
 		return multiStep{name: "EZ-LLB", clusterer: ez.Run}, nil
 	case "lc-llb":

@@ -173,6 +173,8 @@ func (st *flbState) release() {
 }
 
 // run executes the scheduling loop. The arena must be reset first.
+//
+//flb:hotpath
 func (st *flbState) run(onStep func(Step)) {
 	n := st.g.NumTasks()
 	for p := 0; p < st.sys.P; p++ {
@@ -215,12 +217,16 @@ func growProc(v []machine.Proc, n int) []machine.Proc {
 
 // estEP returns the estimated start time of EP task t on its enabling
 // processor p.
+//
+//flb:hotpath
 func (st *flbState) estEP(t int, p machine.Proc) float64 {
 	return math.Max(st.emt[t], st.s.PRT(p))
 }
 
 // blKey returns the secondary heap key implementing the bottom-level
 // tie-break (negated: larger bottom level first), or 0 under the ablation.
+//
+//flb:hotpath
 func (st *flbState) blKey(t int) float64 {
 	if st.noBL {
 		return 0
@@ -233,6 +239,8 @@ func (st *flbState) blKey(t int) float64 {
 // pair against the best non-EP-type pair, preferring the non-EP pair on a
 // start-time tie because its communication is already overlapped with
 // computation.
+//
+//flb:hotpath
 func (st *flbState) scheduleTask(onStep func(Step)) (task int, proc machine.Proc, est float64, ok bool) {
 	haveEP := false
 	var t1 int
@@ -256,6 +264,7 @@ func (st *flbState) scheduleTask(onStep func(Step)) (task int, proc machine.Proc
 		est2 = math.Max(st.lmt[t2], st.s.PRT(p2))
 	}
 
+	//flb:exact start-time tie rule (§4.1): the ablation flips the winner only on bit-identical ESTs
 	epWins := haveEP && (!haveNonEP || est1 < est2 || (st.preferEP && est1 == est2))
 	chooseEP := false
 	switch {
@@ -287,6 +296,8 @@ func (st *flbState) scheduleTask(onStep func(Step)) (task int, proc machine.Proc
 // time grew, EP tasks enabled by p whose LMT dropped below PRT(p) no
 // longer satisfy the EP condition and move to the non-EP list. Tasks are
 // tested in LMT order, so the loop stops at the first task still EP.
+//
+//flb:hotpath
 func (st *flbState) updateTaskLists(p machine.Proc) {
 	prt := st.s.PRT(p)
 	for {
@@ -303,6 +314,8 @@ func (st *flbState) updateTaskLists(p machine.Proc) {
 // updateProcLists implements the paper's UpdateProcLists: refresh p's
 // priority in (or remove it from) the active-processor list, and refresh
 // its PRT key in the global processor list.
+//
+//flb:hotpath
 func (st *flbState) updateProcLists(p machine.Proc) {
 	if t, _, found := st.emtEP[p].Peek(); found {
 		st.active.PushOrUpdate(p, pq.Key{Primary: st.estEP(t, p), Secondary: st.blKey(t)})
@@ -315,6 +328,8 @@ func (st *flbState) updateProcLists(p machine.Proc) {
 // updateReadyTasks implements the paper's UpdateReadyTasks: classify every
 // task made ready by t's placement as EP or non-EP and insert it into the
 // corresponding lists, updating the enabling processor's active priority.
+//
+//flb:hotpath
 func (st *flbState) updateReadyTasks(t int) {
 	for _, nt := range st.ready.Complete(t) {
 		st.classifyReady(nt)
@@ -328,6 +343,8 @@ func (st *flbState) updateReadyTasks(t int) {
 // messages from predecessors on the enabling processor cost their
 // producer's finish time only. Because FT(pred on p) <= PRT(p), the
 // resulting EST = max(EMT, PRT) is identical to the paper's definition.
+//
+//flb:hotpath
 func (st *flbState) classifyReady(nt int) {
 	lmt, ep := 0.0, machine.Proc(-1)
 	for _, ei := range st.g.PredEdges(nt) {
@@ -337,6 +354,7 @@ func (st *flbState) classifyReady(nt int) {
 		// Last message arrival and its source processor; arrival ties break
 		// toward the smaller processor index (DESIGN.md §5, required to
 		// reproduce Table 1).
+		//flb:exact arrival ties must compare bit-identical finish+comm sums to pick the Table 1 enabling proc
 		if arrive > lmt || (arrive == lmt && (ep == -1 || p < ep)) {
 			lmt, ep = arrive, p
 		}

@@ -40,6 +40,8 @@ type Step struct {
 }
 
 // snapshot captures the current ready lists and the pending decision.
+//
+//flb:exact trace ordering mirrors the heaps' exact lexicographic comparators so Table 1 rows match the pop order
 func (st *flbState) snapshot(task int, proc machine.Proc, est float64) Step {
 	step := Step{
 		Iter:    st.s.Graph().NumTasks(), // replaced below; placed count works too

@@ -136,9 +136,13 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 func (g *Graph) Task(id int) Task { return g.tasks[id] }
 
 // Edge returns the edge with the given index.
+//
+//flb:hotpath
 func (g *Graph) Edge(i int) Edge { return g.edges[i] }
 
 // Comp returns comp(t) for task id.
+//
+//flb:hotpath
 func (g *Graph) Comp(id int) float64 { return g.tasks[id].Comp }
 
 // SetComp overwrites comp(t) for task id.
@@ -189,17 +193,23 @@ func (g *Graph) ensureAdj() {
 }
 
 // succs returns the out-edge window of task id. Adjacency must be built.
+//
+//flb:hotpath
 func (g *Graph) succs(id int) []int {
 	return g.succAdj[g.succOff[id]:g.succOff[id+1]:g.succOff[id+1]]
 }
 
 // preds returns the in-edge window of task id. Adjacency must be built.
+//
+//flb:hotpath
 func (g *Graph) preds(id int) []int {
 	return g.predAdj[g.predOff[id]:g.predOff[id+1]:g.predOff[id+1]]
 }
 
 // SuccEdges returns the indices of the out-edges of task id. The returned
 // slice must not be modified.
+//
+//flb:hotpath
 func (g *Graph) SuccEdges(id int) []int {
 	g.ensureAdj()
 	return g.succs(id)
@@ -207,6 +217,8 @@ func (g *Graph) SuccEdges(id int) []int {
 
 // PredEdges returns the indices of the in-edges of task id. The returned
 // slice must not be modified.
+//
+//flb:hotpath
 func (g *Graph) PredEdges(id int) []int {
 	g.ensureAdj()
 	return g.preds(id)

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest is the golden-file harness of the analyzer tests, modeled on
+// golang.org/x/tools' analysistest: it loads the named packages from the
+// testdata root (import paths are directories relative to that root, so
+// packages can import each other), runs the analyzer, and matches every
+// diagnostic against `// want "regexp"` comments on the offending lines.
+// Unmatched diagnostics and unsatisfied wants both fail the test.
+func RunTest(t *testing.T, testdata string, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := newTestdataLoader(testdata)
+	for _, path := range pkgPaths {
+		pkg, err := loader.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags := runPackage(pkg, []*Analyzer{a})
+		sortDiagnostics(diags)
+		checkWants(t, pkg, diags)
+	}
+}
+
+// want is one expected-diagnostic pattern parsed from a comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, pat := range splitPatterns(t, pos.String(), m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a space-separated list of quoted or backquoted
+// regular expressions.
+func splitPatterns(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want patterns must be quoted, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			pat = raw[1 : len(raw)-1]
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		if w := matchWant(wants, d); w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*want, d Diagnostic) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

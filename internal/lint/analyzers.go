@@ -1,0 +1,6 @@
+package lint
+
+// All returns the full flblint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{NoMapIter, ResetComplete, HotPathAlloc, FloatCmp}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one //flb:<name> <arg> source annotation. Arg carries
+// the justification text; the analyzers require it to be non-empty for
+// the annotations that suppress findings.
+type Directive struct {
+	Name string
+	Arg  string
+	Pos  token.Pos
+}
+
+const directivePrefix = "//flb:"
+
+// parseDirectives indexes every //flb: comment line of f by source line.
+func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]Directive {
+	out := map[int][]Directive{}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			d, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Slash).Line
+			out[line] = append(out[line], d)
+		}
+	}
+	return out
+}
+
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return Directive{}, false
+	}
+	name, arg, _ := strings.Cut(text, " ")
+	return Directive{Name: name, Arg: strings.TrimSpace(arg), Pos: c.Slash}, true
+}
+
+func (p *Pass) fileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// DirectiveAt returns the named directive attached to the source line of
+// pos: on the line itself (a trailing comment) or on the line above.
+func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
+	f := p.fileFor(pos)
+	if f == nil {
+		return Directive{}, false
+	}
+	byLine := p.Pkg.directives[f]
+	line := p.Pkg.Fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// directiveInGroup scans a doc or trailing comment group.
+func directiveInGroup(g *ast.CommentGroup, name string) (Directive, bool) {
+	if g == nil {
+		return Directive{}, false
+	}
+	for _, c := range g.List {
+		if d, ok := parseDirective(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective returns the named directive on a function declaration:
+// anywhere in its doc comment, or line-attached to the declaration.
+func (p *Pass) FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	if d, ok := directiveInGroup(fn.Doc, name); ok {
+		return d, true
+	}
+	return p.DirectiveAt(fn.Pos(), name)
+}
+
+// FieldDirective returns the named directive on a struct field: in its
+// doc comment, its trailing comment, or line-attached.
+func (p *Pass) FieldDirective(field *ast.Field, name string) (Directive, bool) {
+	if d, ok := directiveInGroup(field.Doc, name); ok {
+		return d, true
+	}
+	if d, ok := directiveInGroup(field.Comment, name); ok {
+		return d, true
+	}
+	return p.DirectiveAt(field.Pos(), name)
+}
+
+// TypeDirective returns the named directive on a type declaration,
+// checking the TypeSpec's doc, its enclosing GenDecl's doc, and the lines
+// at/above the spec.
+func (p *Pass) TypeDirective(decl *ast.GenDecl, spec *ast.TypeSpec, name string) (Directive, bool) {
+	if d, ok := directiveInGroup(spec.Doc, name); ok {
+		return d, true
+	}
+	if decl != nil {
+		if d, ok := directiveInGroup(decl.Doc, name); ok {
+			return d, true
+		}
+	}
+	return p.DirectiveAt(spec.Pos(), name)
+}
+
+// requireJustified reports a finding when a suppressing directive carries
+// no justification text, and returns whether the directive suppresses.
+// The finding is positioned at the suppressed construct, not the directive.
+func (p *Pass) requireJustified(d Directive, at token.Pos) bool {
+	if d.Arg == "" {
+		p.Reportf(at, "//flb:%s needs a justification after the directive", d.Name)
+	}
+	return true
+}

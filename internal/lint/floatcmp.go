@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between two computed float64 values (EST, LMT,
+// EMT, PRT, bottom levels — every schedule time in this module is a
+// float64) in determinism-critical packages. Exact float equality is
+// almost always a rounding-sensitive bug; where it is the *point* — the
+// deterministic tie-break comparators that define a total order — the
+// comparison site carries //flb:exact with a justification. Comparisons
+// against constants (zero-initialized and sentinel values) are exempt.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= between computed floats in determinism-critical packages " +
+		"outside //flb:exact-annotated comparators",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	if !p.Deterministic() {
+		return
+	}
+	p.walkFuncs(func(fn *ast.FuncDecl, n ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+			return true
+		}
+		x, xok := p.Pkg.Info.Types[cmp.X]
+		y, yok := p.Pkg.Info.Types[cmp.Y]
+		if !xok || !yok || !isFloat(x.Type) || !isFloat(y.Type) {
+			return true
+		}
+		// A constant operand makes this a sentinel test, not a computed-
+		// time comparison.
+		if x.Value != nil || y.Value != nil {
+			return true
+		}
+		if fn != nil {
+			if d, ok := p.FuncDirective(fn, "exact"); ok {
+				p.requireJustified(d, cmp.OpPos)
+				return true
+			}
+		}
+		if d, ok := p.DirectiveAt(cmp.OpPos, "exact"); ok {
+			p.requireJustified(d, cmp.OpPos)
+			return true
+		}
+		p.Reportf(cmp.OpPos, "exact %s comparison between computed floats %s and %s; schedule times need an epsilon comparison or an //flb:exact <why> annotation", cmp.Op, types.ExprString(cmp.X), types.ExprString(cmp.Y))
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

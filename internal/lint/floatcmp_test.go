@@ -1,0 +1,11 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+func TestFloatCmp(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.FloatCmp, "floatcmp/a")
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.HotPathAlloc, "hotpathalloc/a")
+}
+
+// TestHotPathAllocRequiredMarkers checks the required-marker rule on a
+// testdata package whose import path shadows flb/internal/graph, where
+// the CSR accessors must carry //flb:hotpath.
+func TestHotPathAllocRequiredMarkers(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.HotPathAlloc, "flb/internal/graph")
+}

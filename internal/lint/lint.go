@@ -1,0 +1,125 @@
+// Package lint implements flblint, the module's static-analysis suite.
+//
+// FLB's correctness story rests on invariants no compiler checks: the
+// selection order must be bit-deterministic (paper §3 and Appendix A tie
+// breaking), the scheduling hot path must not allocate (the zero-alloc
+// arena architecture of DESIGN.md §8), and every pooled arena must fully
+// reinitialize between runs. The analyzers in this package machine-check
+// those invariants over the type-checked source tree; cmd/flblint is the
+// command-line driver and CI runs it as a blocking job.
+//
+// The analyzers understand four source annotations:
+//
+//	//flb:ordered <why>   a range-over-map or multi-case select whose
+//	                      result is provably order-insensitive
+//	//flb:exact <why>     an intentional exact float comparison (the
+//	                      deterministic tie-break comparators)
+//	//flb:hotpath         marks a function as allocation-free hot path
+//	//flb:alloc-ok <why>  suppresses one hotpathalloc finding on a line
+//	//flb:pooled <why>    marks a type as arena-reused (as if sync.Pooled)
+//	//flb:keep <why>      a pooled-type field deliberately carried across
+//	                      runs
+//	//flb:deterministic   opts a package into the determinism checks
+//
+// Every justification-bearing annotation requires non-empty text after
+// the directive; a bare annotation is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An Analyzer is one named check that runs over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned in the source tree.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass couples one analyzer run with one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// deterministicPrefixes lists the import paths (including their subtrees)
+// whose iteration order directly decides schedules: the FLB core, every
+// scheduling algorithm, the graph representation and the priority queues.
+var deterministicPrefixes = []string{
+	"flb/internal/core",
+	"flb/internal/graph",
+	"flb/internal/pq",
+	"flb/internal/algo",
+}
+
+// Deterministic reports whether the package is determinism-critical:
+// either under one of the known scheduling subtrees, or opted in with a
+// //flb:deterministic directive in any of its files.
+func (p *Pass) Deterministic() bool {
+	for _, prefix := range deterministicPrefixes {
+		if p.Pkg.Path == prefix || strings.HasPrefix(p.Pkg.Path, prefix+"/") {
+			return true
+		}
+	}
+	for _, byLine := range p.Pkg.directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if d.Name == "deterministic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// walkFuncs visits every statement-bearing node of every file, tracking
+// the innermost enclosing function declaration (nil inside func literals
+// of package-level variable initializers).
+func (p *Pass) walkFuncs(visit func(fn *ast.FuncDecl, n ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			decl := decl
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				ast.Inspect(fn, func(n ast.Node) bool {
+					if n == nil {
+						return false
+					}
+					return visit(fn, n)
+				})
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if n == nil {
+					return false
+				}
+				return visit(nil, n)
+			})
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks packages without golang.org/x/tools: package
+// layout comes from `go list -e -export -deps -json`, source files are
+// parsed with go/parser, and every import — standard library or
+// intra-module — is satisfied from the compiler export data the go tool
+// already wrote to the build cache, through go/importer's Lookup hook.
+// Only non-test files are analyzed: the determinism and allocation
+// invariants guard the production scheduling paths, and test oracles are
+// free to use maps and fmt.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	directives map[*ast.File]map[int][]Directive
+}
+
+// goList invokes the go tool from dir and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-json"}, args...)...)
+	cmd.Dir = dir
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errOut.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching the patterns, resolved by the go
+// tool from dir, and returns them sorted by import path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]*listPkg, len(listed))
+	for _, lp := range listed {
+		index[lp.ImportPath] = lp
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(fset, lp, index)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// typeCheck parses and checks one listed package, importing its
+// dependencies from their export data.
+func typeCheck(fset *token.FileSet, lp *listPkg, index map[string]*listPkg) (*Package, error) {
+	files, err := parseDir(fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		dep := index[path]
+		if dep == nil || dep.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+	}
+	return newPackage(lp.ImportPath, lp.Dir, fset, files, tpkg, info), nil
+}
+
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+}
+
+func newPackage(path, dir string, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) *Package {
+	pkg := &Package{
+		Path:       path,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		directives: make(map[*ast.File]map[int][]Directive, len(files)),
+	}
+	for _, f := range files {
+		pkg.directives[f] = parseDirectives(fset, f)
+	}
+	return pkg
+}
+
+// testdataLoader loads analysistest-style packages: the import path of a
+// package is its directory relative to the testdata root, so testdata
+// packages can import each other (cross-package cases) while standard
+// library imports come from export data.
+type testdataLoader struct {
+	root    string
+	fset    *token.FileSet
+	cache   map[string]*Package
+	exports map[string]string // stdlib import path -> export data file
+	std     types.Importer
+}
+
+func newTestdataLoader(root string) *testdataLoader {
+	l := &testdataLoader{
+		root:    root,
+		fset:    token.NewFileSet(),
+		cache:   map[string]*Package{},
+		exports: map[string]string{},
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := l.exports[path]
+		if !ok {
+			listed, err := goList(root, path)
+			if err != nil {
+				return nil, err
+			}
+			for _, lp := range listed {
+				l.exports[lp.ImportPath] = lp.Export
+			}
+			exp = l.exports[path]
+		}
+		if exp == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	return l
+}
+
+// Import implements types.Importer over the testdata root.
+func (l *testdataLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load type-checks the testdata package whose directory is root/path.
+func (l *testdataLoader) load(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files, err := parseDir(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("testdata package %s: %v", path, err)
+	}
+	pkg := newPackage(path, dir, l.fset, files, tpkg, info)
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

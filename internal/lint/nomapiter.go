@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoMapIter flags the two language constructs whose evaluation order the
+// runtime deliberately randomizes — ranging over a map, and a select with
+// several ready channels — inside determinism-critical packages. Either
+// one silently changes tie-breaking (and therefore schedules) from run to
+// run, exactly the failure mode the registry determinism test exists to
+// catch after the fact; the analyzer catches it before.
+var NoMapIter = &Analyzer{
+	Name: "nomapiter",
+	Doc: "flag range-over-map and multi-case select in determinism-critical packages " +
+		"unless annotated //flb:ordered with a justification",
+	Run: runNoMapIter,
+}
+
+func runNoMapIter(p *Pass) {
+	if !p.Deterministic() {
+		return
+	}
+	p.walkFuncs(func(_ *ast.FuncDecl, n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := p.Pkg.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if d, ok := p.DirectiveAt(n.Pos(), "ordered"); ok {
+				p.requireJustified(d, n.Pos())
+				return true
+			}
+			p.Reportf(n.Pos(), "range over map %s has nondeterministic order in a determinism-critical package; iterate sorted keys or annotate //flb:ordered <why>", types.ExprString(n.X))
+		case *ast.SelectStmt:
+			ready := 0
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					ready++
+				}
+			}
+			if ready < 2 {
+				return true
+			}
+			if d, ok := p.DirectiveAt(n.Pos(), "ordered"); ok {
+				p.requireJustified(d, n.Pos())
+				return true
+			}
+			p.Reportf(n.Pos(), "select with %d channel cases chooses nondeterministically when several are ready in a determinism-critical package; serialize the channels or annotate //flb:ordered <why>", ready)
+		}
+		return true
+	})
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+func TestNoMapIter(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.NoMapIter, "nomapiter/a")
+}
+
+// TestNoMapIterSilentOutsideDeterministic loads the helper package, which
+// iterates a map but never opted into the determinism checks.
+func TestNoMapIterSilentOutsideDeterministic(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.NoMapIter, "nomapiter/helper")
+}

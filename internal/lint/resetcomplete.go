@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ResetComplete guards the arena-reuse invariant: a type that travels
+// through a sync.Pool (or is marked //flb:pooled) hands each run the
+// previous run's state, so it must have a Reset/reset method and that
+// method must touch every field — reassign it, clear it, re-init it
+// through a method call, or hand it out by address. A field deliberately
+// carried across runs (grown capacity, a position store cleared
+// elsewhere) is annotated //flb:keep with the reason. A forgotten field
+// is precisely the stale-state bug class of the flbState, Scheduler and
+// pq.Heap arenas.
+var ResetComplete = &Analyzer{
+	Name: "resetcomplete",
+	Doc: "require pooled/arena types to have a Reset method covering every field " +
+		"not annotated //flb:keep",
+	Run: runResetComplete,
+}
+
+func runResetComplete(p *Pass) {
+	pooled := syncPooledTypes(p)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj := p.Pkg.Info.Defs[ts.Name]
+				isPooled := pooled[obj]
+				if d, ok := p.TypeDirective(gd, ts, "pooled"); ok {
+					p.requireJustified(d, ts.Name.Pos())
+					isPooled = true
+				}
+				if isPooled && obj != nil {
+					checkPooledType(p, ts, st, obj)
+				}
+			}
+		}
+	}
+}
+
+// syncPooledTypes finds every named type a sync.Pool's New constructor in
+// this package returns a pointer to.
+func syncPooledTypes(p *Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	p.walkFuncs(func(_ *ast.FuncDecl, n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isSyncPool(p, lit) {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "New" {
+				continue
+			}
+			fn, ok := kv.Value.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if obj := allocatedType(p, res); obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func isSyncPool(p *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := p.Pkg.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// allocatedType resolves &T{...} and new(T) to T's type object.
+func allocatedType(p *Pass, e ast.Expr) types.Object {
+	var t types.Type
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		lit, ok := e.X.(*ast.CompositeLit)
+		if !ok {
+			return nil
+		}
+		if tv, ok := p.Pkg.Info.Types[lit]; ok {
+			t = tv.Type
+		}
+	case *ast.CallExpr:
+		if !p.isBuiltin(e.Fun, "new") || len(e.Args) != 1 {
+			return nil
+		}
+		if tv, ok := p.Pkg.Info.Types[e.Args[0]]; ok {
+			t = tv.Type
+		}
+	default:
+		return nil
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+func checkPooledType(p *Pass, ts *ast.TypeSpec, st *ast.StructType, obj types.Object) {
+	reset := findResetMethod(p, obj)
+	if reset == nil {
+		p.Reportf(ts.Name.Pos(), "pooled type %s has no Reset or reset method; arena types must reinitialize between runs", ts.Name.Name)
+		return
+	}
+	covered := coveredFields(p, reset)
+	for _, field := range st.Fields.List {
+		names := field.Names
+		if len(names) == 0 {
+			// Embedded field: its selector name is the type's base name.
+			if id := embeddedName(field.Type); id != nil {
+				names = []*ast.Ident{id}
+			}
+		}
+		for _, name := range names {
+			if covered[name.Name] {
+				continue
+			}
+			if d, ok := p.FieldDirective(field, "keep"); ok {
+				p.requireJustified(d, name.Pos())
+				continue
+			}
+			p.Reportf(name.Pos(), "field %s.%s is not reinitialized by %s and not marked //flb:keep <why>; stale arena state leaks between runs", ts.Name.Name, name.Name, reset.Name.Name)
+		}
+	}
+}
+
+func embeddedName(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// findResetMethod returns the Reset (preferred) or reset method declared
+// on obj's type in this package.
+func findResetMethod(p *Pass, obj types.Object) *ast.FuncDecl {
+	var lower *ast.FuncDecl
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			if fn.Name.Name != "Reset" && fn.Name.Name != "reset" {
+				continue
+			}
+			t := fn.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			id, ok := t.(*ast.Ident)
+			if !ok || p.Pkg.Info.Uses[id] != obj {
+				continue
+			}
+			if fn.Name.Name == "Reset" {
+				return fn
+			}
+			lower = fn
+		}
+	}
+	return lower
+}
+
+// coveredFields collects the receiver fields the reset method touches in
+// a reinitializing position: assigned (possibly through an index), handed
+// to clear/copy, re-initialized via a method call on the field, or passed
+// out by address.
+func coveredFields(p *Pass, fn *ast.FuncDecl) map[string]bool {
+	covered := map[string]bool{}
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 || fn.Body == nil {
+		return covered
+	}
+	recv := p.Pkg.Info.Defs[names[0]]
+	cover := func(e ast.Expr) {
+		if name, ok := receiverField(p, recv, e); ok {
+			covered[name] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				cover(lhs)
+			}
+		case *ast.IncDecStmt:
+			cover(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				cover(n.X)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				cover(sel.X) // st.field.Reset(...) and friends
+			}
+			if p.isBuiltin(n.Fun, "clear") || p.isBuiltin(n.Fun, "copy") {
+				if len(n.Args) > 0 {
+					cover(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return covered
+}
+
+// receiverField unwraps e down to recv.<field> and returns the field name.
+func receiverField(p *Pass, recv types.Object, e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			id, ok := x.X.(*ast.Ident)
+			if ok && recv != nil && p.Pkg.Info.Uses[id] == recv {
+				return x.Sel.Name, true
+			}
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}

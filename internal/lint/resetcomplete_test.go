@@ -1,0 +1,11 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+func TestResetComplete(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.ResetComplete, "resetcomplete/a")
+}

@@ -1,0 +1,44 @@
+package lint
+
+import "sort"
+
+// Run loads the packages matching the patterns (resolved by the go tool
+// from dir) and applies every analyzer, returning the findings sorted by
+// position. It is the programmatic equivalent of `flblint <patterns>`.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, runPackage(pkg, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,54 @@
+// Package a seeds the floatcmp violations: exact equality between
+// computed schedule-time floats.
+//
+//flb:deterministic
+package a
+
+func equalTimes(a, b float64) bool {
+	return a == b // want `exact == comparison between computed floats a and b`
+}
+
+func sumsDiffer(xs, ys []float64) bool {
+	var sa, sb float64
+	for _, x := range xs {
+		sa += x
+	}
+	for _, y := range ys {
+		sb += y
+	}
+	return sa != sb // want `exact != comparison between computed floats sa and sb`
+}
+
+// sentinel compares against a constant: exempt by design (zero-initialized
+// and sentinel values are bit-exact).
+func sentinel(t float64) bool {
+	return t == 0
+}
+
+// ordering uses <, which is never flagged.
+func ordering(a, b float64) bool {
+	return a < b
+}
+
+// tieBreak is a deterministic total-order comparator: the annotation on
+// the declaration covers every comparison in the body.
+//
+//flb:exact total-order comparator; equal keys must fall through to the id tie-break
+func tieBreak(a, b float64, ia, ib int) bool {
+	if a != b {
+		return a < b
+	}
+	return ia < ib
+}
+
+// lineLevel suppresses a single comparison site.
+func lineLevel(a, b float64) bool {
+	//flb:exact intentional bitwise equality of memoized values
+	return a == b
+}
+
+// bare suppresses without a justification, which is itself a finding.
+func bare(a, b float64) bool {
+	//flb:exact
+	return a == b // want `//flb:exact needs a justification`
+}

@@ -1,0 +1,68 @@
+// Package a seeds the hotpathalloc violations: allocating constructs
+// inside functions carrying the //flb:hotpath marker.
+package a
+
+import "fmt"
+
+type arena struct {
+	buf []int
+}
+
+// fill uses only the allowed append form (result assigned back over the
+// first argument): amortized into pre-grown capacity, no finding.
+//
+//flb:hotpath
+func (a *arena) fill(n int) {
+	a.buf = a.buf[:0]
+	for i := 0; i < n; i++ {
+		a.buf = append(a.buf, i)
+	}
+}
+
+//flb:hotpath
+func scratch(n int) []int {
+	out := make([]int, n) // want `make allocates in hot path`
+	return out
+}
+
+//flb:hotpath
+func grow(xs []int, v int) []int {
+	return append(xs, v) // want `append whose result is not assigned back to its first argument`
+}
+
+//flb:hotpath
+func debug(v int) {
+	fmt.Println(v) // want `fmt call allocates in hot path`
+}
+
+//flb:hotpath
+func box(v int) any {
+	return any(v) // want `conversion to interface any allocates in hot path`
+}
+
+//flb:hotpath
+func spawn(f func()) {
+	go f() // want `go statement in hot path allocates a goroutine`
+}
+
+//flb:hotpath
+func capture(base int) func(int) int {
+	return func(x int) int { return x + base } // want `function literal in hot path: closure capture allocates`
+}
+
+// fatal documents why its panic may allocate: the line-level suppression.
+//
+//flb:hotpath
+func fatal(code int) {
+	if code != 0 {
+		//flb:alloc-ok unreachable guard: building the panic value on the crash path is fine
+		panic(code)
+	}
+}
+
+// cold is unmarked: the same constructs draw no findings outside the
+// hot path.
+func cold(n int) []int {
+	out := make([]int, n)
+	return out
+}

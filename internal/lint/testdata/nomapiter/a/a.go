@@ -1,0 +1,73 @@
+// Package a seeds the nomapiter violations: map iteration and multi-case
+// select inside a package that opted into the determinism checks.
+//
+//flb:deterministic
+package a
+
+import "nomapiter/helper"
+
+// sumImported ranges over a map imported from a non-deterministic helper
+// package: the iteration itself happens here, so it is still a finding.
+func sumImported() float64 {
+	var s float64
+	for _, w := range helper.Weights { // want `range over map helper.Weights has nondeterministic order`
+		s += w
+	}
+	return s
+}
+
+func keysOf(m map[int]bool) []int {
+	var out []int
+	for t := range m { // want `range over map m has nondeterministic order`
+		out = append(out, t)
+	}
+	return out
+}
+
+// sumJustified is order-insensitive and says why.
+func sumJustified(m map[int]float64) float64 {
+	var s float64
+	//flb:ordered float64 summation order is fixed by the sorted-key rewrite upstream; values here are exact ints
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func drain(a, b chan int) int {
+	select { // want `select with 2 channel cases chooses nondeterministically`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// drainSingle has one comm case plus default: no randomized choice.
+func drainSingle(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// drainBare suppresses with a bare directive, which is itself a finding.
+func drainBare(m map[int]int) int {
+	s := 0
+	//flb:ordered
+	for _, v := range m { // want `//flb:ordered needs a justification`
+		s += v
+	}
+	return s
+}
+
+// sliceRange must not be confused with a map range.
+func sliceRange(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

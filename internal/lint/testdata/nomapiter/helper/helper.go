@@ -1,0 +1,16 @@
+// Package helper provides the shared weight table of the nomapiter
+// cross-package cases. It carries no //flb:deterministic directive, so the
+// analyzer must stay silent here even though the table is a map.
+package helper
+
+// Weights maps task names to weights.
+var Weights = map[string]float64{"a": 1, "b": 2}
+
+// Sum iterates Weights — legal in a non-deterministic package.
+func Sum() float64 {
+	var s float64
+	for _, w := range Weights {
+		s += w
+	}
+	return s
+}

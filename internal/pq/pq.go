@@ -32,6 +32,9 @@ type Key struct {
 
 // Less reports whether k should be dequeued before other, with id/otherID
 // as the final deterministic tie-break.
+//
+//flb:exact deterministic total-order comparator: equal keys must fall through to the id tie-break bit-for-bit
+//flb:hotpath
 func (k Key) Less(id int, other Key, otherID int) bool {
 	if k.Primary != other.Primary {
 		return k.Primary < other.Primary
@@ -136,6 +139,8 @@ func (h *Heap) Empty() bool { return len(h.ids) == 0 }
 // indexOf returns id's index in this heap, or -1. With a shared position
 // store, pos[id] may refer to a sibling heap's slot; the ids check
 // filters that out.
+//
+//flb:hotpath
 func (h *Heap) indexOf(id int) int {
 	p := h.pos[id]
 	if p < 0 || p >= len(h.ids) || h.ids[p] != id {
@@ -158,6 +163,8 @@ func (h *Heap) Key(id int) Key {
 
 // Push inserts id with the given key. It panics if id is already enqueued;
 // use Update to change an existing key.
+//
+//flb:hotpath
 func (h *Heap) Push(id int, key Key) {
 	if h.indexOf(id) >= 0 {
 		panic("pq: Push of item already in heap")
@@ -171,6 +178,8 @@ func (h *Heap) Push(id int, key Key) {
 
 // Peek returns the id and key of the minimum item without removing it.
 // ok is false when the heap is empty.
+//
+//flb:hotpath
 func (h *Heap) Peek() (id int, key Key, ok bool) {
 	if len(h.ids) == 0 {
 		return 0, Key{}, false
@@ -180,6 +189,8 @@ func (h *Heap) Peek() (id int, key Key, ok bool) {
 
 // Pop removes and returns the minimum item. ok is false when the heap is
 // empty.
+//
+//flb:hotpath
 func (h *Heap) Pop() (id int, key Key, ok bool) {
 	if len(h.ids) == 0 {
 		return 0, Key{}, false
@@ -190,6 +201,8 @@ func (h *Heap) Pop() (id int, key Key, ok bool) {
 }
 
 // Remove deletes id from the heap if present and reports whether it was.
+//
+//flb:hotpath
 func (h *Heap) Remove(id int) bool {
 	p := h.indexOf(id)
 	if p < 0 {
@@ -201,6 +214,8 @@ func (h *Heap) Remove(id int) bool {
 
 // Update changes the key of id, restoring heap order (the paper's
 // BalanceList). It panics if id is not enqueued.
+//
+//flb:hotpath
 func (h *Heap) Update(id int, key Key) {
 	p := h.indexOf(id)
 	if p < 0 {
@@ -214,6 +229,8 @@ func (h *Heap) Update(id int, key Key) {
 }
 
 // PushOrUpdate inserts id or, if already present, changes its key.
+//
+//flb:hotpath
 func (h *Heap) PushOrUpdate(id int, key Key) {
 	if h.indexOf(id) >= 0 {
 		h.Update(id, key)
@@ -230,6 +247,7 @@ func (h *Heap) Items() []int {
 	return out
 }
 
+//flb:hotpath
 func (h *Heap) removeAt(p int) {
 	last := len(h.ids) - 1
 	h.pos[h.ids[p]] = -1
@@ -249,6 +267,8 @@ func (h *Heap) removeAt(p int) {
 	}
 }
 
+//flb:exact deterministic total-order comparator over the parallel key slices; must mirror Key.Less exactly
+//flb:hotpath
 func (h *Heap) less(i, j int) bool {
 	if h.prim[i] != h.prim[j] {
 		return h.prim[i] < h.prim[j]
@@ -259,6 +279,7 @@ func (h *Heap) less(i, j int) bool {
 	return h.ids[i] < h.ids[j]
 }
 
+//flb:hotpath
 func (h *Heap) swap(i, j int) {
 	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
 	h.prim[i], h.prim[j] = h.prim[j], h.prim[i]
@@ -268,6 +289,8 @@ func (h *Heap) swap(i, j int) {
 }
 
 // up sifts the item at index i toward the root and reports whether it moved.
+//
+//flb:hotpath
 func (h *Heap) up(i int) bool {
 	moved := false
 	for i > 0 {
@@ -283,6 +306,8 @@ func (h *Heap) up(i int) bool {
 }
 
 // down sifts the item at index i toward the leaves.
+//
+//flb:hotpath
 func (h *Heap) down(i int) {
 	n := len(h.ids)
 	for {
