@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all lint fmt vet flblint build test race bench clean
+.PHONY: all lint fmt vet flblint build test race fuzz bench clean
 
 all: lint build test
 
@@ -27,6 +27,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fuzz smoke: each target briefly, seed corpus plus 10s of new inputs.
+# Go's fuzzer accepts one target per invocation.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSTG$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzHeap$$' -fuzztime 10s ./internal/pq
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig2|Scaling' -benchmem .

@@ -1,14 +1,18 @@
 package flb
 
 import (
+	"context"
+	"errors"
 	"io"
 	"math/rand"
+	"time"
 
 	"flb/internal/algo"
 	"flb/internal/algo/optimal"
 	"flb/internal/algo/refine"
 	"flb/internal/algo/registry"
 	"flb/internal/core"
+	"flb/internal/fault"
 	"flb/internal/graph"
 	"flb/internal/machine"
 	"flb/internal/schedule"
@@ -133,9 +137,138 @@ type SimResult = sim.Result
 // by ±epsComm (uniform factors, deterministic in seed). With both epsilons
 // zero it reproduces the schedule's own start times exactly. It quantifies
 // a compile-time schedule's robustness to cost misestimation.
+//
+// The comp and comm jitters draw from independent seed-derived streams:
+// changing (or zeroing) one epsilon never shifts the other stream's draw
+// sequence.
 func Simulate(s *Schedule, epsComp, epsComm float64, seed int64) (*SimResult, error) {
-	rng := rand.New(rand.NewSource(seed))
-	return sim.Run(s, sim.UniformJitter(rng, epsComp), sim.UniformJitter(rng, epsComm))
+	return sim.Run(s, jitterStream(seed, sim.StreamComp, epsComp), jitterStream(seed, sim.StreamComm, epsComm))
+}
+
+// jitterStream builds the perturbation for one independent jitter
+// stream. A zero epsilon returns nil (exact costs): no RNG is created
+// and no draws happen, so the other stream's sequence is unaffected.
+func jitterStream(seed int64, stream uint64, eps float64) sim.Perturb {
+	if eps == 0 {
+		return nil
+	}
+	return sim.UniformJitter(rand.New(rand.NewSource(sim.DeriveSeed(seed, stream))), eps)
+}
+
+// Fault-tolerance surface, re-exported from internal/fault and
+// internal/sim: fail-stop crash plans, the retry policy for lossy
+// messages, and the faulty execution result.
+type (
+	// FaultPlan describes the faults injected into one execution; the
+	// zero value is fault-free.
+	FaultPlan = fault.Plan
+	// Crash is a fail-stop processor failure at a point in time.
+	Crash = fault.Crash
+	// RetryPolicy bounds lost-message retransmission delays.
+	RetryPolicy = fault.RetryPolicy
+	// RepairMode selects how a crash's stranded tasks are replanned.
+	RepairMode = fault.Mode
+	// FaultResult extends SimResult with fault bookkeeping.
+	FaultResult = sim.FaultResult
+)
+
+// Repair strategies for FaultPlan.Repair.
+const (
+	// RepairReschedule remaps the whole unexecuted suffix with the FLB
+	// criterion (slower repair, better post-fault makespan).
+	RepairReschedule = fault.ModeReschedule
+	// RepairMigrate moves only stranded tasks to the least-loaded
+	// survivors (cheap repair, coarser schedule).
+	RepairMigrate = fault.ModeMigrate
+)
+
+// Rescheduler is the reusable online repair arena behind
+// RepairReschedule, exported for callers embedding the runtime.
+type Rescheduler = core.Rescheduler
+
+// NewRescheduler returns an empty online repair arena.
+func NewRescheduler() *Rescheduler { return core.NewRescheduler() }
+
+// SimulateFaulty executes schedule s self-timed like Simulate while
+// injecting the failures described by plan: processors fail-stop at the
+// planned times, lost messages pay timeout/retry delays, and after every
+// crash the unexecuted suffix of the plan is repaired onto the surviving
+// processors with the plan's repair strategy. The run is deterministic
+// in (s, plan, epsComp, epsComm, seed); with a zero-value plan it
+// reproduces Simulate bit for bit. It returns an error if every
+// processor crashes.
+func SimulateFaulty(s *Schedule, plan FaultPlan, epsComp, epsComm float64, seed int64) (*FaultResult, error) {
+	return sim.RunFaulty(s, plan,
+		jitterStream(seed, sim.StreamComp, epsComp),
+		jitterStream(seed, sim.StreamComm, epsComm),
+		sim.DeriveSeed(seed, sim.StreamLoss),
+		fixedChooser(plan.Repair))
+}
+
+// fixedChooser returns the chooser applying one repair strategy to every
+// crash, with the arenas shared across repairs.
+func fixedChooser(m RepairMode) sim.RepairChooser {
+	if m == fault.ModeMigrate {
+		mr := &fault.MigrateRepairer{}
+		return func(fault.Crash, int) (fault.Repairer, error) { return mr, nil }
+	}
+	re := core.NewRescheduler()
+	return func(fault.Crash, int) (fault.Repairer, error) { return re, nil }
+}
+
+// RunContext is SimulateFaulty with graceful degradation under a
+// wall-clock budget: while ctx has room, crashes are repaired with the
+// full FLB reschedule; once the deadline has passed — or the time left
+// is under four times the cost of the previous FLB repair — remaining
+// crashes fall back to the cheap migrate-in-place repair so the run
+// still completes with a valid result. A canceled context aborts with
+// the context's error. plan.Repair is ignored; the chooser described
+// here takes its place.
+//
+// The simulated result is deterministic given the same repair-mode
+// decisions; the decisions themselves depend on wall-clock timing, which
+// is the point of the escape hatch.
+func RunContext(ctx context.Context, s *Schedule, plan FaultPlan, epsComp, epsComm float64, seed int64) (*FaultResult, error) {
+	// An expired deadline is not an abort: it means every repair degrades
+	// to migrate. Only cancellation stops the run.
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	re := core.NewRescheduler()
+	var mig fault.MigrateRepairer
+	var lastRepair time.Duration
+	deadline, hasDeadline := ctx.Deadline()
+	choose := func(fault.Crash, int) (fault.Repairer, error) {
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		if hasDeadline {
+			remaining := time.Until(deadline)
+			if remaining <= 0 || (lastRepair > 0 && remaining < 4*lastRepair) {
+				return &mig, nil
+			}
+		}
+		return timedRepairer{re, &lastRepair}, nil
+	}
+	return sim.RunFaulty(s, plan,
+		jitterStream(seed, sim.StreamComp, epsComp),
+		jitterStream(seed, sim.StreamComm, epsComm),
+		sim.DeriveSeed(seed, sim.StreamLoss),
+		choose)
+}
+
+// timedRepairer measures each repair's wall-clock cost so RunContext can
+// judge whether the deadline leaves room for another one.
+type timedRepairer struct {
+	r    fault.Repairer
+	cost *time.Duration
+}
+
+func (t timedRepairer) Repair(req *fault.Request) error {
+	start := time.Now()
+	err := t.r.Repair(req)
+	*t.cost = time.Since(start)
+	return err
 }
 
 // Network selects a contention model for SimulateContended.

@@ -54,7 +54,7 @@ type jsonExperiment struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("flbbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, ablation, ccr, contention, optimality, or all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, or all")
 		quick    = fs.Bool("quick", false, "scaled-down configuration (V≈200, 2 seeds)")
 		targetV  = fs.Int("v", 0, "override the approximate task count (default 2000)")
 		seeds    = fs.Int("seeds", 0, "override instances per (family, CCR) (default 5)")
@@ -202,6 +202,22 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if want("fault") {
+		ran = true
+		fcfg := cfg
+		if *exp == "all" && !*quick {
+			// Like robust: the sweep multiplies the matrix by scenarios and
+			// draws; a reduced seed count keeps "all" fast.
+			fcfg.Seeds = 2
+		}
+		r, err := bench.FaultSweep(fcfg, 8, nil, 0)
+		if err != nil {
+			return err
+		}
+		if err := emit("fault", "", r); err != nil {
+			return err
+		}
+	}
 	if want("ablation") {
 		ran = true
 		// NSL comparison (Fig. 4 machinery) across FLB's tie-breaking
@@ -280,7 +296,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, ablation, ccr, contention, optimality, or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, or all)", *exp)
 	}
 
 	if *jsonFlag {

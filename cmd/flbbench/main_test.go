@@ -121,6 +121,16 @@ func TestRobustExperiment(t *testing.T) {
 	}
 }
 
+func TestFaultExperiment(t *testing.T) {
+	out, err := benchCLI(t, append([]string{"-exp", "fault"}, smoke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fault tolerance") || !strings.Contains(out, "k=1+loss") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
 func TestAblationExperiment(t *testing.T) {
 	out, err := benchCLI(t, "-exp", "ablation", "-v", "50", "-seeds", "1",
 		"-procs", "2", "-families", "stencil")

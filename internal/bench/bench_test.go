@@ -416,3 +416,45 @@ func TestOptimalitySmoke(t *testing.T) {
 		t.Errorf("Format:\n%s", r.Format())
 	}
 }
+
+func TestFaultSweepSmoke(t *testing.T) {
+	r, err := FaultSweep(tiny(), 4, []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := FaultScenario{Crashes: 1}
+	for _, a := range r.Algorithms {
+		d := r.Degradation[a][k1]
+		if d.N == 0 || d.Mean < 0.5 || d.Mean > 10 {
+			t.Errorf("%s: degradation at k=1 is %+v", a, d)
+		}
+		// More crashes never repair for free: the recomputation count is
+		// monotone in expectation and at least zero.
+		if r.Recomputed[a][k1].Mean < 0 {
+			t.Errorf("%s: negative recomputed mean", a)
+		}
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Fault tolerance") || !strings.Contains(out, "k=1+loss") {
+		t.Errorf("Format:\n%s", out)
+	}
+	if !strings.HasPrefix(r.CSV(), "algorithm,scenario,mean_degradation") {
+		t.Errorf("CSV:\n%s", r.CSV())
+	}
+	// Identical configurations reproduce identical numbers.
+	r2, err := FaultSweep(tiny(), 4, []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.Algorithms {
+		for _, sc := range r.Scenarios {
+			if r.Degradation[a][sc] != r2.Degradation[a][sc] {
+				t.Errorf("%s %v: sweep not deterministic", a, sc)
+			}
+		}
+	}
+	// Crash counts must leave a survivor.
+	if _, err := FaultSweep(tiny(), 4, []int{4}, 1); err == nil {
+		t.Error("crash count = p accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"flb/internal/core"
+	"flb/internal/fault"
+	"flb/internal/machine"
+	"flb/internal/sim"
+	"flb/internal/stats"
+)
+
+// FaultScenario labels one column of the fault sweep: a crash count and
+// optionally a lossy network.
+type FaultScenario struct {
+	Crashes int
+	Lossy   bool
+}
+
+func (s FaultScenario) String() string {
+	if s.Lossy {
+		return fmt.Sprintf("k=%d+loss", s.Crashes)
+	}
+	return fmt.Sprintf("k=%d", s.Crashes)
+}
+
+// FaultSweepResult holds the fault-tolerance experiment (extension): schedules
+// are executed under injected fail-stop crashes (and, in the lossy
+// column, 5% message loss with a bounded-retry policy), repaired online
+// with the FLB rescheduler, and the reported figure is the degradation —
+// faulty makespan divided by the fault-free one. Crash scenarios are
+// drawn identically for every algorithm (same processors, same relative
+// times), so the columns compare how gracefully each algorithm's
+// schedules absorb the same failures.
+type FaultSweepResult struct {
+	Config     Config
+	Algorithms []string
+	Scenarios  []FaultScenario
+	P          int
+	// Degradation[alg][scenario] summarizes faulty/fault-free makespan
+	// ratios; Recomputed the per-run revoked execution counts.
+	Degradation map[string]map[FaultScenario]stats.Summary
+	Recomputed  map[string]map[FaultScenario]stats.Summary
+}
+
+// FaultSweep runs the fault-tolerance experiment at the given processor
+// count (0 means 8) and crash counts (nil means 1, 2, 4 — each below p),
+// with `draws` fault scenarios per schedule (0 means 3). A final lossy
+// scenario repeats the smallest crash count with 5% message loss.
+func FaultSweep(cfg Config, p int, crashCounts []int, draws int) (*FaultSweepResult, error) {
+	cfg = cfg.withDefaults()
+	if p == 0 {
+		p = 8
+	}
+	if len(crashCounts) == 0 {
+		crashCounts = []int{1, 2, 4}
+	}
+	if draws == 0 {
+		draws = 3
+	}
+	var scenarios []FaultScenario
+	for _, k := range crashCounts {
+		if k < 1 || k >= p {
+			return nil, fmt.Errorf("bench fault: crash count %d out of range [1, %d]", k, p-1)
+		}
+		scenarios = append(scenarios, FaultScenario{Crashes: k})
+	}
+	scenarios = append(scenarios, FaultScenario{Crashes: crashCounts[0], Lossy: true})
+
+	insts, err := cfg.instances()
+	if err != nil {
+		return nil, err
+	}
+	algs, err := cfg.algorithms()
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultSweepResult{
+		Config:      cfg,
+		Scenarios:   scenarios,
+		P:           p,
+		Degradation: map[string]map[FaultScenario]stats.Summary{},
+		Recomputed:  map[string]map[FaultScenario]stats.Summary{},
+	}
+	sys := machine.NewSystem(p)
+	for _, a := range algs {
+		res.Algorithms = append(res.Algorithms, a.Name())
+		res.Degradation[a.Name()] = map[FaultScenario]stats.Summary{}
+		res.Recomputed[a.Name()] = map[FaultScenario]stats.Summary{}
+		re := core.NewRescheduler()
+		choose := func(fault.Crash, int) (fault.Repairer, error) { return re, nil }
+		ratios := map[FaultScenario][]float64{}
+		recomputed := map[FaultScenario][]float64{}
+		for ii, in := range insts {
+			s, err := a.Schedule(in.g, sys)
+			if err != nil {
+				return nil, fmt.Errorf("bench fault: %s: %w", a.Name(), err)
+			}
+			base, err := sim.Run(s, nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("bench fault: sim: %w", err)
+			}
+			for _, sc := range scenarios {
+				for d := 0; d < draws; d++ {
+					// The scenario rng depends only on (seed, scenario,
+					// instance, draw): every algorithm faces the same
+					// processors crashing at the same relative times.
+					rng := rand.New(rand.NewSource(cfg.BaseSeed +
+						int64(1e9)*int64(sc.Crashes) + int64(1e6)*int64(ii) + int64(d) + boolSeed(sc.Lossy)))
+					plan := fault.Plan{Repair: fault.ModeReschedule}
+					for _, q := range rng.Perm(p)[:sc.Crashes] {
+						plan.Crashes = append(plan.Crashes, fault.Crash{
+							Proc: q,
+							Time: (0.1 + 0.8*rng.Float64()) * base.Makespan,
+						})
+					}
+					if sc.Lossy {
+						plan.MsgLoss = 0.05
+						plan.Retry = fault.RetryPolicy{
+							Timeout:    0.01 * base.Makespan,
+							MaxRetries: 3,
+						}
+					}
+					fr, err := sim.RunFaulty(s, plan, nil, nil, rng.Int63(), choose)
+					if err != nil {
+						return nil, fmt.Errorf("bench fault: %s: %w", a.Name(), err)
+					}
+					ratios[sc] = append(ratios[sc], fr.Makespan/base.Makespan)
+					recomputed[sc] = append(recomputed[sc], float64(fr.Recomputed))
+				}
+			}
+		}
+		for _, sc := range scenarios {
+			res.Degradation[a.Name()][sc] = stats.Summarize(ratios[sc])
+			res.Recomputed[a.Name()][sc] = stats.Summarize(recomputed[sc])
+		}
+	}
+	return res, nil
+}
+
+func boolSeed(b bool) int64 {
+	if b {
+		return 1 << 40
+	}
+	return 0
+}
+
+// Format renders the fault-tolerance table: algorithms × scenarios, mean
+// degradation with the mean recomputation count in parentheses.
+func (r *FaultSweepResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault tolerance (extension) — fail-stop crashes with online FLB repair, P=%d\n", r.P)
+	fmt.Fprintf(&b, "cells: faulty makespan / fault-free makespan, mean (mean recomputed tasks)\n")
+	header := []string{"algorithm"}
+	for _, sc := range r.Scenarios {
+		header = append(header, sc.String())
+	}
+	var rows [][]string
+	for _, a := range r.Algorithms {
+		row := []string{a}
+		for _, sc := range r.Scenarios {
+			row = append(row, fmt.Sprintf("%s (%s)",
+				f3(r.Degradation[a][sc].Mean), f1(r.Recomputed[a][sc].Mean)))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values.
+func (r *FaultSweepResult) CSV() string {
+	rows := [][]string{{"algorithm", "scenario", "mean_degradation", "std", "max", "mean_recomputed", "n"}}
+	for _, a := range r.Algorithms {
+		for _, sc := range r.Scenarios {
+			d, rc := r.Degradation[a][sc], r.Recomputed[a][sc]
+			rows = append(rows, []string{
+				a, sc.String(), f3(d.Mean), f3(d.Std), f3(d.Max), f1(rc.Mean), fmt.Sprint(d.N),
+			})
+		}
+	}
+	return writeCSV(rows)
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"flb/internal/fault"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+// Rescheduler is the online repair engine behind flb.SimulateFaulty:
+// when a processor fails it remaps the unexecuted suffix of the plan
+// onto the surviving processors using FLB's selection criterion — the
+// ready task able to start earliest, placed on the processor achieving
+// that start — evaluated against the repair state (actual finish times
+// of executed tasks, checkpoint fetch costs for outputs lost with a dead
+// processor, survivor availability floors).
+//
+// Like Scheduler it is a reusable arena: repeated repairs on same-sized
+// problems allocate nothing in steady state. When the fault precedes all
+// execution (a cold crash at time zero), the repair IS a fresh FLB run
+// on the surviving sub-machine: the embedded Scheduler arena computes it
+// and placements map back through the survivor indices. This is valid
+// because the machine model is homogeneous — communication cost does not
+// depend on processor identity (machine.RemoteCost).
+//
+// A Rescheduler is not safe for concurrent use.
+type Rescheduler struct {
+	sc      *Scheduler
+	plan    *schedule.Schedule
+	ready   []int
+	pending []int
+	inPlan  []bool
+	procMap []machine.Proc
+}
+
+// NewRescheduler returns an empty repair arena running the default FLB
+// variant.
+func NewRescheduler() *Rescheduler {
+	return &Rescheduler{sc: NewScheduler(FLB{})}
+}
+
+// Repair implements fault.Repairer.
+func (r *Rescheduler) Repair(req *fault.Request) error {
+	alive := req.AliveCount()
+	if alive == 0 {
+		return fmt.Errorf("core: reschedule with no surviving processors")
+	}
+	if r.coldStart(req) {
+		return r.repairCold(req, alive)
+	}
+	return r.repairSuffix(req)
+}
+
+// coldStart reports whether nothing has executed and every survivor is
+// idle from time zero — the case where the repair problem is exactly a
+// fresh scheduling problem on the surviving sub-machine.
+func (r *Rescheduler) coldStart(req *fault.Request) bool {
+	if len(req.Todo) != req.G.NumTasks() {
+		return false
+	}
+	for p, ok := range req.Alive {
+		if ok && req.Floor[p] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// repairCold runs full FLB on a compacted system of the alive processors
+// and maps the placements back to actual processor indices.
+func (r *Rescheduler) repairCold(req *fault.Request, alive int) error {
+	r.procMap = r.procMap[:0]
+	for p, ok := range req.Alive {
+		if ok {
+			r.procMap = append(r.procMap, machine.Proc(p))
+		}
+	}
+	sub, err := r.sc.Schedule(req.G, machine.System{P: alive, Comm: req.Sys.Comm})
+	if err != nil {
+		return err
+	}
+	for _, t := range sub.PlacementOrder() {
+		req.Assign(t, r.procMap[sub.Proc(t)])
+	}
+	return nil
+}
+
+// repairSuffix list-schedules the pending tasks with the FLB criterion
+// against the executed prefix: each step places the (task, survivor)
+// pair with the earliest achievable start time. Placement order is a
+// topological order of the pending sub-DAG, so Request.Seq is a valid
+// execution order.
+func (r *Rescheduler) repairSuffix(req *fault.Request) error {
+	g, sys := req.G, req.Sys
+	n := g.NumTasks()
+	if r.plan == nil {
+		r.plan = schedule.New(g, sys)
+	} else {
+		r.plan.Reset(g, sys)
+	}
+	r.plan.Algorithm = "flb-resched"
+	for p := 0; p < sys.P; p++ {
+		if req.Alive[p] {
+			r.plan.SetPRTFloor(p, req.Floor[p])
+		}
+	}
+	bl := g.BottomLevels()
+	r.inPlan = growBool(r.inPlan, n)
+	clear(r.inPlan)
+	for _, t := range req.Todo {
+		r.inPlan[t] = true
+	}
+	r.pending = growInt(r.pending, n)
+	r.ready = r.ready[:0]
+	for _, t := range req.Todo {
+		cnt := 0
+		for _, ei := range g.PredEdges(t) {
+			if r.inPlan[g.Edge(ei).From] {
+				cnt++
+			}
+		}
+		r.pending[t] = cnt
+		if cnt == 0 {
+			r.ready = append(r.ready, t)
+		}
+	}
+	for placed := 0; placed < len(req.Todo); placed++ {
+		bi, bt, bp := -1, -1, machine.Proc(-1)
+		best := 0.0
+		for i, t := range r.ready {
+			for p := 0; p < sys.P; p++ {
+				if !req.Alive[p] {
+					continue
+				}
+				est := r.est(req, t, p)
+				if bi < 0 || betterRepair(est, best, bl, t, bt, p, bp) {
+					bi, bt, bp, best = i, t, p, est
+				}
+			}
+		}
+		if bi < 0 {
+			return fmt.Errorf("core: reschedule stuck with %d tasks left — pending suffix is cyclic", len(req.Todo)-placed)
+		}
+		r.plan.Place(bt, bp, best)
+		req.Assign(bt, bp)
+		r.inPlan[bt] = false
+		r.ready[bi] = r.ready[len(r.ready)-1]
+		r.ready = r.ready[:len(r.ready)-1]
+		for _, ei := range g.SuccEdges(bt) {
+			to := g.Edge(ei).To
+			if !r.inPlan[to] {
+				continue
+			}
+			r.pending[to]--
+			if r.pending[to] == 0 {
+				r.ready = append(r.ready, to)
+			}
+		}
+	}
+	return nil
+}
+
+// est returns the earliest start of pending task t on survivor p: the
+// processor's ready time versus the arrival of every predecessor output,
+// which comes from the repair plan (unexecuted predecessor already
+// replanned), from the predecessor's surviving processor, or from the
+// checkpoint store at full remote cost if its processor is dead.
+//
+//flb:hotpath
+func (r *Rescheduler) est(req *fault.Request, t int, p machine.Proc) float64 {
+	g, sys := req.G, req.Sys
+	rel := r.plan.PRT(p)
+	for _, ei := range g.PredEdges(t) {
+		e := g.Edge(ei)
+		var a float64
+		if r.plan.Assigned(e.From) {
+			a = r.plan.Finish(e.From) + sys.CommCost(e.Comm, r.plan.Proc(e.From), p)
+		} else if op := req.Proc[e.From]; req.Alive[op] {
+			a = req.Finish[e.From] + sys.CommCost(e.Comm, op, p)
+		} else {
+			a = req.Finish[e.From] + sys.RemoteCost(e.Comm)
+		}
+		if a > rel {
+			rel = a
+		}
+	}
+	return rel
+}
+
+// betterRepair reports whether candidate (est, t, p) beats the incumbent
+// (best, bt, bp): earlier start, then larger bottom level (the paper's
+// priority), then smaller task id, then smaller processor index.
+//
+//flb:exact the repair tie-break is a total order over (start, level, id, proc); equal keys must compare bit-identically or repairs lose determinism
+//flb:hotpath
+func betterRepair(est, best float64, bl []float64, t, bt int, p, bp machine.Proc) bool {
+	if est != best {
+		return est < best
+	}
+	if bl[t] != bl[bt] {
+		return bl[t] > bl[bt]
+	}
+	if t != bt {
+		return t < bt
+	}
+	return p < bp
+}
+
+func growInt(v []int, n int) []int {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]int, n)
+}
+
+func growBool(v []bool, n int) []bool {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]bool, n)
+}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		bad  string // substring of the expected error; empty = valid
+	}{
+		{"zero value", Plan{}, ""},
+		{"valid crash", Plan{Crashes: []Crash{{Proc: 1, Time: 3}}}, ""},
+		{"crash at zero", Plan{Crashes: []Crash{{Proc: 0, Time: 0}}}, ""},
+		{"proc out of range", Plan{Crashes: []Crash{{Proc: 4, Time: 1}}}, "targets processor"},
+		{"negative proc", Plan{Crashes: []Crash{{Proc: -1, Time: 1}}}, "targets processor"},
+		{"negative time", Plan{Crashes: []Crash{{Proc: 0, Time: -1}}}, "finite >= 0"},
+		{"NaN time", Plan{Crashes: []Crash{{Proc: 0, Time: math.NaN()}}}, "finite >= 0"},
+		{"Inf time", Plan{Crashes: []Crash{{Proc: 0, Time: math.Inf(1)}}}, "finite >= 0"},
+		{"loss without timeout", Plan{MsgLoss: 0.1}, "Retry.Timeout"},
+		{"loss with policy", Plan{MsgLoss: 0.1, Retry: RetryPolicy{Timeout: 1}}, ""},
+		{"loss one", Plan{MsgLoss: 1}, "MsgLoss"},
+		{"loss NaN", Plan{MsgLoss: math.NaN()}, "MsgLoss"},
+		{"negative loss", Plan{MsgLoss: -0.1}, "MsgLoss"},
+		{"negative retries", Plan{MsgLoss: 0.1, Retry: RetryPolicy{Timeout: 1, MaxRetries: -1}}, "MaxRetries"},
+		{"backoff below one", Plan{MsgLoss: 0.1, Retry: RetryPolicy{Timeout: 1, Backoff: 0.5}}, "Backoff"},
+		{"backoff default", Plan{MsgLoss: 0.1, Retry: RetryPolicy{Timeout: 1, Backoff: 0}}, ""},
+		{"migrate mode", Plan{Repair: ModeMigrate}, ""},
+		{"unknown mode", Plan{Repair: Mode(9)}, "repair mode"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4)
+		if c.bad == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.bad) {
+			t.Errorf("%s: error = %v, want mention of %q", c.name, err, c.bad)
+		}
+	}
+}
+
+func TestRetryPolicyNormalized(t *testing.T) {
+	if got := (RetryPolicy{Timeout: 2}).Normalized().Backoff; got != 2 {
+		t.Errorf("default backoff = %v, want 2", got)
+	}
+	if got := (RetryPolicy{Timeout: 2, Backoff: 1.5}).Normalized().Backoff; got != 1.5 {
+		t.Errorf("explicit backoff = %v, want 1.5", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeReschedule.String() != "reschedule" || ModeMigrate.String() != "migrate" {
+		t.Errorf("mode names = %q, %q", ModeReschedule, ModeMigrate)
+	}
+}
+
+// chainRequest builds a repair problem on a 4-task chain across 3
+// processors where processor `dead` has crashed at time 1 with nothing
+// executed yet except task 0 (finished on processor 0 at time 1).
+func chainRequest(dead machine.Proc) (*Request, *graph.Graph) {
+	g := graph.New("chain")
+	for i := 0; i < 4; i++ {
+		g.AddTask(2)
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.Freeze()
+	sys := machine.NewSystem(3)
+	req := &Request{
+		G:        g,
+		Sys:      sys,
+		Now:      1,
+		Alive:    []bool{true, true, true},
+		Executed: []bool{true, false, false, false},
+		Finish:   []float64{1, 0, 0, 0},
+		Proc:     []machine.Proc{0, dead, 1, dead},
+		Floor:    []float64{1, 1, 1},
+		Todo:     []int{1, 2, 3},
+	}
+	req.Alive[dead] = false
+	req.Floor[dead] = 0
+	req.ResetOut(4)
+	return req, g
+}
+
+func TestMigrateKeepsSurvivorsMovesStranded(t *testing.T) {
+	req, _ := chainRequest(2)
+	var m MigrateRepairer
+	if err := m.Repair(req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Seq) != 3 {
+		t.Fatalf("assigned %d tasks, want 3", len(req.Seq))
+	}
+	// Task 2 was planned on the surviving processor 1: it must not move.
+	if req.NewProc[2] != 1 {
+		t.Errorf("task 2 moved to %d, want to stay on 1", req.NewProc[2])
+	}
+	// Stranded tasks land on survivors, in execution order.
+	for _, tk := range []int{1, 3} {
+		if p := req.NewProc[tk]; !req.Alive[p] {
+			t.Errorf("task %d assigned to dead processor %d", tk, p)
+		}
+	}
+	if got, want := req.Seq[0], 1; got != want {
+		t.Errorf("first reassigned task = %d, want %d (execution order preserved)", got, want)
+	}
+}
+
+func TestMigrateDeterministic(t *testing.T) {
+	reqA, _ := chainRequest(2)
+	reqB, _ := chainRequest(2)
+	var m MigrateRepairer
+	if err := m.Repair(reqA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Repair(reqB); err != nil {
+		t.Fatal(err)
+	}
+	for tk := range reqA.NewProc {
+		if reqA.NewProc[tk] != reqB.NewProc[tk] {
+			t.Fatalf("task %d: %d vs %d across identical repairs", tk, reqA.NewProc[tk], reqB.NewProc[tk])
+		}
+	}
+}
+
+func TestAssignPanics(t *testing.T) {
+	req, _ := chainRequest(2)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	req.Assign(1, 0)
+	mustPanic("double assign", func() { req.Assign(1, 1) })
+	mustPanic("dead processor", func() { req.Assign(2, 2) })
+	mustPanic("out of range", func() { req.Assign(3, 7) })
+}

@@ -1,0 +1,49 @@
+package fault
+
+import "fmt"
+
+// MigrateRepairer is the cheap repair strategy: tasks planned on
+// surviving processors stay exactly where and in the order they were,
+// and each stranded task (planned on a dead processor) migrates to the
+// survivor with the least accumulated work, in the current execution
+// order. It is O(todo · P), allocation-free in steady state, and is the
+// fallback flb.RunContext degrades to when the deadline leaves no room
+// for a full FLB reschedule.
+type MigrateRepairer struct {
+	load []float64 // accumulated work per processor, grown monotonically
+}
+
+// Repair implements Repairer.
+func (m *MigrateRepairer) Repair(req *Request) error {
+	p := req.Sys.P
+	if cap(m.load) >= p {
+		m.load = m.load[:p]
+	} else {
+		m.load = make([]float64, p)
+	}
+	for q := 0; q < p; q++ {
+		if req.Alive[q] {
+			m.load[q] = req.Floor[q]
+		} else {
+			m.load[q] = 0
+		}
+	}
+	for _, t := range req.Todo {
+		q := req.Proc[t]
+		if q < 0 || q >= p || !req.Alive[q] {
+			best := -1
+			for c := 0; c < p; c++ {
+				if req.Alive[c] && (best < 0 || m.load[c] < m.load[best]) {
+					best = c
+				}
+			}
+			if best < 0 {
+				return fmt.Errorf("fault: migrate repair with no surviving processors")
+			}
+			q = best
+		}
+		m.load[q] += req.G.Comp(t)
+		req.Assign(t, q)
+	}
+	return nil
+}

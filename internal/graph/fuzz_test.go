@@ -1,14 +1,37 @@
 package graph
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
 
-// FuzzParseText checks that the text parser never panics and that every
-// accepted graph is valid and round-trips. Under plain `go test` the seed
-// corpus runs as a unit test; `go test -fuzz=FuzzParseText` explores.
-func FuzzParseText(f *testing.F) {
+// checkIngested asserts the invariant the hardened parsers guarantee for
+// every accepted graph: structural validity and finite, non-negative
+// weights — nothing downstream (levels, schedulers, the simulator) has
+// to defend against poisoned numbers.
+func checkIngested(t *testing.T, g *Graph, src string) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("accepted graph fails Validate: %v\ninput: %q", err, src)
+	}
+	for id := 0; id < g.NumTasks(); id++ {
+		if c := g.Comp(id); math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			t.Fatalf("accepted graph has poisoned comp(%d) = %v\ninput: %q", id, c, src)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if c := g.Edge(i).Comm; math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			t.Fatalf("accepted graph has poisoned comm(%d) = %v\ninput: %q", i, c, src)
+		}
+	}
+}
+
+// FuzzReadText checks that the text parser never panics, that every
+// accepted graph is valid with finite non-negative weights, and that
+// accepted graphs round-trip. Under plain `go test` the seed corpus runs
+// as a unit test; `go test -fuzz=FuzzReadText` explores.
+func FuzzReadText(f *testing.F) {
 	seeds := []string{
 		"",
 		"graph g\ntask 0 1\n",
@@ -20,6 +43,12 @@ func FuzzParseText(f *testing.F) {
 		"task 0 1\nedge 0 9 1\n",
 		"task 0 1e309\n",
 		"task 0 NaN\n",
+		"task 0 Inf\n",
+		"task 0 -Inf\n",
+		"task 0 1\ntask 1 1\nedge 0 1 NaN\n",
+		"task 0 1\ntask 1 1\nedge 0 1 Inf\n",
+		"task 0 1\ntask 1 1\nedge 0 1 -2\n",
+		"task 0 1\nedge -1 0 1\n",
 		"graph a\ntask 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n",
 	}
 	for _, s := range seeds {
@@ -30,9 +59,7 @@ func FuzzParseText(f *testing.F) {
 		if err != nil {
 			return // rejected input is fine; panics are not
 		}
-		if err := g.Validate(); err != nil {
-			t.Fatalf("accepted graph fails Validate: %v\ninput: %q", err, src)
-		}
+		checkIngested(t, g, src)
 		// Round trip: serialize and re-parse; structure must be stable.
 		g2, err := ParseText(g.TextString())
 		if err != nil {
@@ -45,7 +72,7 @@ func FuzzParseText(f *testing.F) {
 	})
 }
 
-// FuzzReadSTG mirrors FuzzParseText for the STG parser.
+// FuzzReadSTG mirrors FuzzReadText for the STG parser.
 func FuzzReadSTG(f *testing.F) {
 	seeds := []string{
 		"",
@@ -58,6 +85,13 @@ func FuzzReadSTG(f *testing.F) {
 		"2\n0 1 1 1\n1 1 1 0\n",
 		"1\n0 1 99\n",
 		"# comment\n2\n0 1 0\n1 1 1 0\n",
+		"1\n0 NaN 0\n",
+		"1\n0 Inf 0\n",
+		"1\n0 -3 0\n",
+		"2\n0 1 0\n1 1 1 0 NaN\n",
+		"2\n0 1 0\n1 1 1 0 -1\n",
+		"3000000000\n",
+		"-7\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -67,9 +101,7 @@ func FuzzReadSTG(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if err := g.Validate(); err != nil {
-			t.Fatalf("accepted STG fails Validate: %v\ninput: %q", err, src)
-		}
+		checkIngested(t, g, src)
 		var b strings.Builder
 		if err := g.WriteSTG(&b); err != nil {
 			t.Fatalf("WriteSTG: %v", err)

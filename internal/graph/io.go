@@ -4,10 +4,23 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// checkWeight rejects the weight values that parse fine but poison every
+// downstream computation: NaN propagates through all level and time
+// arithmetic, infinities saturate it, and negative costs invert the
+// scheduling objective. Parsers call this so corrupt inputs fail with a
+// line-accurate error instead of producing garbage schedules.
+func checkWeight(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return fmt.Errorf("weight %v is not a finite non-negative number", w)
+	}
+	return nil
+}
 
 // The text format is line-oriented:
 //
@@ -83,6 +96,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph text line %d: bad comp %q: %w", lineNo, fields[2], err)
 			}
+			if err := checkWeight(comp); err != nil {
+				return nil, fmt.Errorf("graph text line %d: task %s: %w", lineNo, fields[1], err)
+			}
 			if id != g.NumTasks() {
 				return nil, fmt.Errorf("graph text line %d: task ids must be dense and increasing; got %d, want %d", lineNo, id, g.NumTasks())
 			}
@@ -105,6 +121,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 			comm, err := strconv.ParseFloat(fields[3], 64)
 			if err != nil {
 				return nil, fmt.Errorf("graph text line %d: bad comm %q: %w", lineNo, fields[3], err)
+			}
+			if err := checkWeight(comm); err != nil {
+				return nil, fmt.Errorf("graph text line %d: edge %s->%s: %w", lineNo, fields[1], fields[2], err)
 			}
 			if from < 0 || from >= g.NumTasks() || to < 0 || to >= g.NumTasks() {
 				return nil, fmt.Errorf("graph text line %d: edge %d->%d references unknown task", lineNo, from, to)

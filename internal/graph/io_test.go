@@ -92,6 +92,14 @@ func TestParseTextErrors(t *testing.T) {
 		{"graph arity", "graph a b\n"},
 		{"cycle", "task 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n"},
 		{"negative comp", "task 0 -1\n"},
+		{"NaN comp", "task 0 NaN\n"},
+		{"Inf comp", "task 0 Inf\n"},
+		{"negative Inf comp", "task 0 -Inf\n"},
+		{"overflowing comp", "task 0 1e309\n"},
+		{"NaN comm", "task 0 1\ntask 1 1\nedge 0 1 NaN\n"},
+		{"Inf comm", "task 0 1\ntask 1 1\nedge 0 1 Inf\n"},
+		{"negative comm", "task 0 1\ntask 1 1\nedge 0 1 -2\n"},
+		{"negative edge endpoint", "task 0 1\nedge -1 0 1\n"},
 	}
 	for _, c := range cases {
 		if _, err := ParseText(c.src); err == nil {

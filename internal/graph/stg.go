@@ -60,6 +60,12 @@ func ReadSTG(r io.Reader) (*Graph, error) {
 	if err != nil || n < 0 {
 		return nil, fmt.Errorf("graph stg: bad task count %q", head[0])
 	}
+	// A declared count far beyond any real benchmark is a corrupt or
+	// hostile header; refuse it before allocating task storage for it.
+	const maxSTGTasks = 1 << 20
+	if n > maxSTGTasks {
+		return nil, fmt.Errorf("graph stg: task count %d exceeds limit %d", n, maxSTGTasks)
+	}
 
 	g := New("stg")
 	for i := 0; i < n; i++ {
@@ -81,6 +87,9 @@ func ReadSTG(r io.Reader) (*Graph, error) {
 		comp, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("graph stg: bad processing time %q on task %d", fields[1], id)
+		}
+		if err := checkWeight(comp); err != nil {
+			return nil, fmt.Errorf("graph stg: task %d: %w", id, err)
 		}
 		g.SetComp(id, comp)
 		npred, err := strconv.Atoi(fields[2])
@@ -119,6 +128,9 @@ func ReadSTG(r io.Reader) (*Graph, error) {
 			comm, err := strconv.ParseFloat(commTok, 64)
 			if err != nil {
 				return nil, fmt.Errorf("graph stg: task %d has bad comm %q", id, commTok)
+			}
+			if err := checkWeight(comm); err != nil {
+				return nil, fmt.Errorf("graph stg: edge %s->%d: %w", predTok, id, err)
 			}
 			g.AddEdge(pred, id, comm)
 		}

@@ -136,6 +136,14 @@ func TestSTGErrors(t *testing.T) {
 		{"bad comm", "2\n0 1 0\n1 1 1 0 x\n"},
 		{"cycle", "2\n0 1 1 1\n1 1 1 0\n"},
 		{"inconsistent arity later", "3\n0 1 0\n1 1 1 0 2\n2 1 1 0\n"},
+		{"NaN comp", "1\n0 NaN 0\n"},
+		{"Inf comp", "1\n0 Inf 0\n"},
+		{"negative comp", "1\n0 -3 0\n"},
+		{"NaN comm", "2\n0 1 0\n1 1 1 0 NaN\n"},
+		{"Inf comm", "2\n0 1 0\n1 1 1 0 Inf\n"},
+		{"negative comm", "2\n0 1 0\n1 1 1 0 -1\n"},
+		{"negative pred", "2\n0 1 0\n1 1 1 -1\n"},
+		{"absurd task count", "3000000000\n"},
 	}
 	for _, c := range cases {
 		if _, err := ReadSTG(strings.NewReader(c.src)); err == nil {

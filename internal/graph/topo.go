@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrCycle is returned when a graph that should be acyclic contains a cycle.
@@ -69,8 +70,8 @@ func (g *Graph) Validate() error {
 		if e.From == e.To {
 			return fmt.Errorf("graph %q: edge %d is a self-loop on task %d", g.Name, i, e.From)
 		}
-		if e.Comm < 0 {
-			return fmt.Errorf("graph %q: edge %d (%d->%d) has negative comm %v", g.Name, i, e.From, e.To, e.Comm)
+		if e.Comm < 0 || math.IsNaN(e.Comm) || math.IsInf(e.Comm, 0) {
+			return fmt.Errorf("graph %q: edge %d (%d->%d) has non-finite or negative comm %v", g.Name, i, e.From, e.To, e.Comm)
 		}
 		key := [2]int{e.From, e.To}
 		if seen[key] {
@@ -79,8 +80,8 @@ func (g *Graph) Validate() error {
 		seen[key] = true
 	}
 	for id, t := range g.tasks {
-		if t.Comp < 0 {
-			return fmt.Errorf("graph %q: task %d has negative comp %v", g.Name, id, t.Comp)
+		if t.Comp < 0 || math.IsNaN(t.Comp) || math.IsInf(t.Comp, 0) {
+			return fmt.Errorf("graph %q: task %d has non-finite or negative comp %v", g.Name, id, t.Comp)
 		}
 	}
 	if _, err := g.TopoOrder(); err != nil {

@@ -166,6 +166,16 @@ func (s *Schedule) Finish(t int) float64 { return s.finish[t] }
 // task scheduled on it (paper §2), 0 if p is empty.
 func (s *Schedule) PRT(p machine.Proc) float64 { return s.prt[p] }
 
+// SetPRTFloor raises processor p's ready time to at least v without
+// placing a task. The online rescheduler uses it to seed a repair plan
+// with the surviving processors' availability (crash time, or the finish
+// of an in-flight task) before list-scheduling the unexecuted suffix.
+func (s *Schedule) SetPRTFloor(p machine.Proc, v float64) {
+	if v > s.prt[p] {
+		s.prt[p] = v
+	}
+}
+
 // MinPRTProc returns the processor becoming idle the earliest, breaking
 // ties toward the smaller index.
 func (s *Schedule) MinPRTProc() machine.Proc {

@@ -112,8 +112,9 @@ func RunContended(s *schedule.Schedule, net Network) (*Result, error) {
 		nextOnProc[t] = -1
 		prevDone[t] = true
 	}
+	pos := topoPositions(s)
 	for p := 0; p < sys.P; p++ {
-		tasks := procChain(s, p)
+		tasks := procChain(s, p, pos)
 		for i := 1; i < len(tasks); i++ {
 			nextOnProc[tasks[i-1]] = tasks[i]
 			prevDone[tasks[i]] = false

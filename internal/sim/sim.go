@@ -24,11 +24,38 @@ import (
 // procChain returns processor p's tasks ordered by planned start time —
 // the execution sequence the self-timed run preserves. For the append-only
 // schedulers this equals placement order; insertion-based placement (MCP
-// with Insertion) may place out of order, so the chain is sorted.
-func procChain(s *schedule.Schedule, p int) []int {
+// with Insertion) may place out of order, so the chain is sorted. Ties
+// (zero-cost tasks sharing a start time) are broken by topological rank,
+// which makes the chain a total order that never contradicts precedence.
+func procChain(s *schedule.Schedule, p int, pos []int) []int {
 	tasks := append([]int(nil), s.TasksOn(p)...)
-	sort.Slice(tasks, func(i, j int) bool { return s.Start(tasks[i]) < s.Start(tasks[j]) })
+	sort.Slice(tasks, func(i, j int) bool {
+		ti, tj := tasks[i], tasks[j]
+		if s.Start(ti) != s.Start(tj) {
+			return s.Start(ti) < s.Start(tj)
+		}
+		return pos[ti] < pos[tj]
+	})
 	return tasks
+}
+
+// topoPositions returns each task's rank in a fixed topological order of
+// the scheduled graph, used as the chain tie-break. If the graph is
+// cyclic (the deadlock check reports that later), ranks fall back to
+// task ids.
+func topoPositions(s *schedule.Schedule) []int {
+	g := s.Graph()
+	pos := make([]int, g.NumTasks())
+	if topo, err := g.TopoOrder(); err == nil {
+		for i, t := range topo {
+			pos[t] = i
+		}
+	} else {
+		for i := range pos {
+			pos[i] = i
+		}
+	}
+	return pos
 }
 
 // Perturb maps an estimated cost to an actual cost. Implementations must
@@ -118,8 +145,9 @@ func Run(s *schedule.Schedule, perturbComp, perturbComm Perturb) (*Result, error
 		nextOnProc[t] = -1
 		pending[t] = g.InDegree(t)
 	}
+	pos := topoPositions(s)
 	for p := 0; p < sys.P; p++ {
-		tasks := procChain(s, p)
+		tasks := procChain(s, p, pos)
 		for i := 1; i < len(tasks); i++ {
 			prevOnProc[tasks[i]] = tasks[i-1]
 			nextOnProc[tasks[i-1]] = tasks[i]
