@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all lint fmt vet flblint build test race fuzz bench clean
+.PHONY: all lint fmt vet flblint build test race fuzz bench trace clean
 
 all: lint build test
 
@@ -37,6 +37,11 @@ fuzz:
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig2|Scaling' -benchmem .
+
+# Chrome Trace Event JSON of one observed Fig. 2 run (quick config);
+# open trace.json in chrome://tracing or ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/flbbench -exp fig2 -quick -trace trace.json
 
 clean:
 	$(GO) clean ./...

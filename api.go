@@ -2,7 +2,6 @@ package flb
 
 import (
 	"context"
-	"errors"
 	"io"
 	"math/rand"
 	"time"
@@ -82,23 +81,16 @@ func ReadGraphSTG(r io.Reader) (*Graph, error) { return graph.ReadSTG(r) }
 // machine model.
 func NewSystem(p int) System { return machine.NewSystem(p) }
 
-// Run schedules g on p processors with FLB (the paper's clique model).
-func Run(g *Graph, p int) (*Schedule, error) {
-	return core.FLB{}.Schedule(g, machine.NewSystem(p))
-}
-
-// RunOn schedules g with FLB on an explicit system (e.g. a custom
-// communication model).
-func RunOn(g *Graph, sys System) (*Schedule, error) {
-	return core.FLB{}.Schedule(g, sys)
-}
-
 // Trace runs FLB on g for p processors and returns the per-iteration
 // execution trace together with the schedule — the data of the paper's
 // Table 1. Render with FormatTrace.
+//
+// Deprecated: Trace is the pre-observer API. Use Run with
+// WithObserver(NewStepRecorder(&steps)) — which is exactly what this
+// wrapper does — or any other Observer for richer event access.
 func Trace(g *Graph, p int) ([]Step, *Schedule, error) {
 	var steps []Step
-	s, err := core.Collect(&steps).Schedule(g, machine.NewSystem(p))
+	s, err := Run(g, p, WithObserver(NewStepRecorder(&steps)))
 	return steps, s, err
 }
 
@@ -119,12 +111,11 @@ func NewAlgorithm(name string, seed int64) (Algorithm, error) {
 }
 
 // RunWith schedules g on p processors with the named algorithm.
+//
+// Deprecated: RunWith is the positional-argument API. Use
+// Run(g, p, WithAlgorithm(name), WithSeed(seed)).
 func RunWith(name string, g *Graph, p int, seed int64) (*Schedule, error) {
-	a, err := registry.New(name, seed)
-	if err != nil {
-		return nil, err
-	}
-	return a.Schedule(g, machine.NewSystem(p))
+	return Run(g, p, WithAlgorithm(name), WithSeed(seed))
 }
 
 // SimResult is the outcome of a simulated self-timed execution of a
@@ -141,8 +132,16 @@ type SimResult = sim.Result
 // The comp and comm jitters draw from independent seed-derived streams:
 // changing (or zeroing) one epsilon never shifts the other stream's draw
 // sequence.
+//
+// Deprecated: Simulate is the positional-argument API. Use
+// Execute(s, WithJitter(epsComp, epsComm), WithSeed(seed)), whose
+// embedded SimResult is bit-identical.
 func Simulate(s *Schedule, epsComp, epsComm float64, seed int64) (*SimResult, error) {
-	return sim.Run(s, jitterStream(seed, sim.StreamComp, epsComp), jitterStream(seed, sim.StreamComm, epsComm))
+	er, err := Execute(s, WithJitter(epsComp, epsComm), WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &er.Result, nil
 }
 
 // jitterStream builds the perturbation for one independent jitter
@@ -197,12 +196,12 @@ func NewRescheduler() *Rescheduler { return core.NewRescheduler() }
 // in (s, plan, epsComp, epsComm, seed); with a zero-value plan it
 // reproduces Simulate bit for bit. It returns an error if every
 // processor crashes.
+//
+// Deprecated: SimulateFaulty is the positional-argument API. Use
+// Execute(s, WithFaults(plan), WithJitter(epsComp, epsComm),
+// WithSeed(seed)), whose result is bit-identical.
 func SimulateFaulty(s *Schedule, plan FaultPlan, epsComp, epsComm float64, seed int64) (*FaultResult, error) {
-	return sim.RunFaulty(s, plan,
-		jitterStream(seed, sim.StreamComp, epsComp),
-		jitterStream(seed, sim.StreamComm, epsComm),
-		sim.DeriveSeed(seed, sim.StreamLoss),
-		fixedChooser(plan.Repair))
+	return Execute(s, WithFaults(plan), WithJitter(epsComp, epsComm), WithSeed(seed))
 }
 
 // fixedChooser returns the chooser applying one repair strategy to every
@@ -228,33 +227,12 @@ func fixedChooser(m RepairMode) sim.RepairChooser {
 // The simulated result is deterministic given the same repair-mode
 // decisions; the decisions themselves depend on wall-clock timing, which
 // is the point of the escape hatch.
+//
+// Deprecated: RunContext is the positional-argument API. Use
+// Execute(s, WithContext(ctx), WithFaults(plan),
+// WithJitter(epsComp, epsComm), WithSeed(seed)).
 func RunContext(ctx context.Context, s *Schedule, plan FaultPlan, epsComp, epsComm float64, seed int64) (*FaultResult, error) {
-	// An expired deadline is not an abort: it means every repair degrades
-	// to migrate. Only cancellation stops the run.
-	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		return nil, err
-	}
-	re := core.NewRescheduler()
-	var mig fault.MigrateRepairer
-	var lastRepair time.Duration
-	deadline, hasDeadline := ctx.Deadline()
-	choose := func(fault.Crash, int) (fault.Repairer, error) {
-		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			return nil, err
-		}
-		if hasDeadline {
-			remaining := time.Until(deadline)
-			if remaining <= 0 || (lastRepair > 0 && remaining < 4*lastRepair) {
-				return &mig, nil
-			}
-		}
-		return timedRepairer{re, &lastRepair}, nil
-	}
-	return sim.RunFaulty(s, plan,
-		jitterStream(seed, sim.StreamComp, epsComp),
-		jitterStream(seed, sim.StreamComm, epsComm),
-		sim.DeriveSeed(seed, sim.StreamLoss),
-		choose)
+	return Execute(s, WithContext(ctx), WithFaults(plan), WithJitter(epsComp, epsComm), WithSeed(seed))
 }
 
 // timedRepairer measures each repair's wall-clock cost so RunContext can

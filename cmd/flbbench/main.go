@@ -11,6 +11,7 @@
 //	flbbench -exp all -quick -json    # one JSON document for all experiments
 //	flbbench -exp fig3 -v 1000 -seeds 3 -procs 2,4,8
 //	flbbench -exp fig2 -cpuprofile cpu.out -memprofile mem.out
+//	flbbench -exp fig2 -quick -trace trace.json   # Chrome Trace Event JSON
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"flb/internal/bench"
+	"flb/internal/obs"
 )
 
 func main() {
@@ -66,6 +68,7 @@ func run(args []string, stdout io.Writer) error {
 		par      = fs.Bool("parallel", false, "run quality experiments on all CPUs (identical results)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile (after the experiments) to this file")
+		traceOut = fs.String("trace", "", "write a Chrome Trace Event JSON of one representative run per experiment ('-' for stdout)")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +111,29 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *families != "" {
 		cfg.Families = strings.Split(*families, ",")
+	}
+	var traceClose func() error
+	if *traceOut != "" {
+		w := io.Writer(stdout)
+		var f *os.File
+		if *traceOut != "-" {
+			var err error
+			if f, err = os.Create(*traceOut); err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			w = f
+		}
+		ct := obs.NewChromeTrace(w)
+		cfg.Observer = ct
+		traceClose = func() error {
+			if err := ct.Close(); err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			if f != nil {
+				return f.Close()
+			}
+			return nil
+		}
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -297,6 +323,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, or all)", *exp)
+	}
+	if traceClose != nil {
+		if err := traceClose(); err != nil {
+			return err
+		}
 	}
 
 	if *jsonFlag {

@@ -1,14 +1,15 @@
 // Command flbsched schedules a task graph (in the module's text format)
 // onto P processors with any of the implemented algorithms and reports the
-// schedule, metrics, a Gantt chart or — for FLB — the paper-style
-// execution trace.
+// schedule, metrics, a Gantt chart, a Chrome trace or — for FLB — the
+// paper-style execution trace.
 //
 // Usage:
 //
 //	flbsched -graph lu.tg -procs 8 -algo flb -gantt
 //	flbsched -graph - -algo mcp -seed 3 -metrics      # graph on stdin
-//	flbsched -graph fig1.tg -procs 2 -trace            # Table 1 layout
-//	flbsched -demo -procs 2 -trace                     # built-in Fig. 1 graph
+//	flbsched -graph fig1.tg -procs 2 -steps            # Table 1 layout
+//	flbsched -demo -procs 2 -steps                     # built-in Fig. 1 graph
+//	flbsched -demo -procs 2 -trace out.json            # Chrome Trace Event JSON
 package main
 
 import (
@@ -41,7 +42,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		width     = fs.Int("width", 80, "Gantt chart width in characters")
 		tbl       = fs.Bool("table", false, "print the per-task schedule table")
 		metrics   = fs.Bool("metrics", true, "print schedule metrics")
-		trace     = fs.Bool("trace", false, "print the FLB execution trace (flb only)")
+		steps     = fs.Bool("steps", false, "print the FLB execution trace in the paper's Table 1 layout (flb only)")
+		traceOut  = fs.String("trace", "", "write a Chrome Trace Event JSON file ('-' for stdout; open in chrome://tracing or Perfetto)")
 		list      = fs.Bool("list", false, "list available algorithms and exit")
 		stats     = fs.Bool("stats", false, "print task-graph statistics (width, granularity, parallelism)")
 		jsonOut   = fs.String("json", "", "write the schedule as JSON to this file ('-' for stdout)")
@@ -88,22 +90,61 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
+	var observer flb.Observer
+	var chrome *flb.ChromeTrace
+	var traceFile *os.File
+	if *traceOut != "" {
+		w := io.Writer(stdout)
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			w = f
+		}
+		chrome = flb.NewChromeTrace(w)
+		chrome.TaskNames = func(id int) string { return g.Task(id).Name }
+		observer = chrome
+	}
+
 	var s *flb.Schedule
-	if *trace {
-		steps, sched, err := flb.Trace(g, *procs)
+	if *steps {
+		// The Table 1 layout is specific to FLB's decision events; -algo is
+		// ignored here like it was by the old boolean -trace flag.
+		var rows []flb.Step
+		sched, err := flb.Run(g, *procs,
+			flb.WithObserver(flb.TeeObservers(flb.NewStepRecorder(&rows), observer)))
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(stdout, flb.FormatTrace(steps, func(id int) string { return g.Task(id).Name }))
+		fmt.Fprint(stdout, flb.FormatTrace(rows, func(id int) string { return g.Task(id).Name }))
 		s = sched
 	} else {
 		var err error
-		if s, err = flb.RunWith(*algoName, g, *procs, *seed); err != nil {
+		s, err = flb.Run(g, *procs,
+			flb.WithAlgorithm(*algoName), flb.WithSeed(*seed), flb.WithObserver(observer))
+		if err != nil {
 			return err
 		}
 	}
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("internal error: produced schedule is invalid: %w", err)
+	}
+	if chrome != nil {
+		// The timeline tracks come from an exact observed execution of the
+		// schedule just produced.
+		if _, err := flb.Execute(s, flb.WithSeed(*seed), flb.WithObserver(chrome)); err != nil {
+			return err
+		}
+		if err := chrome.Close(); err != nil {
+			return err
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+		}
 	}
 
 	if *metrics {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +16,7 @@ func runCLI(t *testing.T, stdin string, args ...string) (string, error) {
 }
 
 func TestDemoTrace(t *testing.T) {
-	out, err := runCLI(t, "", "-demo", "-procs", "2", "-trace")
+	out, err := runCLI(t, "", "-demo", "-procs", "2", "-steps")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,6 +26,43 @@ func TestDemoTrace(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestChromeTraceOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if _, err := runCLI(t, "", "-demo", "-procs", "2", "-metrics=false", "-trace", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	// The demo graph executes on two tracks; task names come from the graph.
+	if !strings.Contains(string(raw), `"name":"t1"`) {
+		t.Errorf("trace missing task name t1:\n%s", raw)
+	}
+	// -trace - streams to stdout together with -steps output.
+	out, err := runCLI(t, "", "-demo", "-procs", "2", "-metrics=false", "-steps", "-trace", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"traceEvents"`) || !strings.Contains(out, "t7 -> p0") {
+		t.Errorf("combined -steps -trace - output:\n%s", out)
+	}
+	// Unwritable trace paths error.
+	if _, err := runCLI(t, "", "-demo", "-trace", "/nonexistent/x.json"); err == nil {
+		t.Error("unwritable trace path accepted")
 	}
 }
 

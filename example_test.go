@@ -77,6 +77,58 @@ edge 0 1 1
 	// pair 2 1 6
 }
 
+// ExampleExecute runs a schedule self-timed with jittered costs through
+// the options API.
+func ExampleExecute() {
+	g := flb.PaperExample()
+	s, _ := flb.Run(g, 2)
+	r, err := flb.Execute(s, flb.WithJitter(0.3, 0.3), flb.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("planned %g, jittered %.4g\n", s.Makespan(), r.Makespan)
+	// Output:
+	// planned 14, jittered 13.6
+}
+
+// ExampleExecute_faults injects a fail-stop crash and repairs it online
+// with the FLB rescheduler.
+func ExampleExecute_faults() {
+	g := flb.PaperExample()
+	s, _ := flb.Run(g, 2)
+	plan := flb.FaultPlan{
+		Crashes: []flb.Crash{{Proc: 1, Time: 5}},
+		Repair:  flb.RepairReschedule,
+	}
+	r, err := flb.Execute(s, flb.WithFaults(plan))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("crashes %d, reschedules %d, makespan %g\n", r.Crashes, r.Reschedules, r.Makespan)
+	// Output:
+	// crashes 1, reschedules 1, makespan 17
+}
+
+// ExampleWithObserver aggregates the event stream of a schedule-and-
+// execute round trip into telemetry counters.
+func ExampleWithObserver() {
+	g := flb.PaperExample()
+	tel := flb.NewTelemetry()
+	s, err := flb.Run(g, 2, flb.WithObserver(tel))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := flb.Execute(s, flb.WithObserver(tel)); err != nil {
+		panic(err)
+	}
+	fmt.Printf("decisions %d (EP wins %d)\n", tel.Steps, tel.EPWins)
+	fmt.Printf("executed %d tasks, makespan %g, utilization %.2f\n",
+		tel.TasksRun, tel.Makespan, tel.Utilization())
+	// Output:
+	// decisions 8 (EP wins 4)
+	// executed 8 tasks, makespan 14, utilization 0.68
+}
+
 // ExampleSimulate executes a schedule with exact runtime costs.
 func ExampleSimulate() {
 	g := flb.PaperExample()

@@ -20,6 +20,7 @@ import (
 	"flb/internal/algo"
 	"flb/internal/algo/registry"
 	"flb/internal/graph"
+	"flb/internal/obs"
 	"flb/internal/workload"
 )
 
@@ -50,6 +51,12 @@ type Config struct {
 	// on GOMAXPROCS workers. Results are identical to the sequential run;
 	// the timing experiments (Fig. 2, scaling) ignore it by design.
 	Parallel bool
+	// Observer, when non-nil, receives the event stream of one
+	// representative observed run per experiment (schedule + execution on
+	// the first instance), emitted after the measured loops so
+	// observation never pollutes timings or results. Wired to flbbench
+	// -trace.
+	Observer obs.Sink
 }
 
 // Default returns the paper's configuration.

@@ -137,6 +137,34 @@ func FaultSweep(cfg Config, p int, crashCounts []int, draws int) (*FaultSweepRes
 			res.Recomputed[a.Name()][sc] = stats.Summarize(recomputed[sc])
 		}
 	}
+	if cfg.Observer != nil {
+		// One representative observed faulty run — FLB schedule of the
+		// first instance under the first scenario, with the online repairs
+		// observed too — after the sweep, so observation cannot pollute it.
+		s, err := core.FLB{Sink: cfg.Observer}.Schedule(insts[0].g, sys)
+		if err != nil {
+			return nil, fmt.Errorf("bench fault: observed run: %w", err)
+		}
+		base, err := sim.Run(s, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench fault: observed run: %w", err)
+		}
+		re := core.NewRescheduler()
+		re.Observe(cfg.Observer)
+		choose := func(fault.Crash, int) (fault.Repairer, error) { return re, nil }
+		sc := scenarios[0]
+		rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(1e9)*int64(sc.Crashes) + boolSeed(sc.Lossy)))
+		plan := fault.Plan{Repair: fault.ModeReschedule}
+		for _, q := range rng.Perm(p)[:sc.Crashes] {
+			plan.Crashes = append(plan.Crashes, fault.Crash{
+				Proc: q,
+				Time: (0.1 + 0.8*rng.Float64()) * base.Makespan,
+			})
+		}
+		if _, err := sim.RunFaultyObserved(s, plan, nil, nil, rng.Int63(), choose, cfg.Observer); err != nil {
+			return nil, fmt.Errorf("bench fault: observed run: %w", err)
+		}
+	}
 	return res, nil
 }
 

@@ -5,7 +5,9 @@ import (
 	"strings"
 	"time"
 
+	"flb/internal/core"
 	"flb/internal/machine"
+	"flb/internal/sim"
 	"flb/internal/stats"
 )
 
@@ -63,6 +65,19 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 				samples = append(samples, float64(elapsed.Nanoseconds())/1e6)
 			}
 			res.Millis[a.Name()][p] = stats.Summarize(samples)
+		}
+	}
+	if cfg.Observer != nil {
+		// One representative observed run — FLB schedule plus exact
+		// execution of the first instance at the largest machine — after
+		// the timed loops, so observation cannot pollute the samples.
+		p := cfg.Procs[len(cfg.Procs)-1]
+		s, err := core.FLB{Sink: cfg.Observer}.Schedule(insts[0].g, machine.NewSystem(p))
+		if err != nil {
+			return nil, fmt.Errorf("bench fig2: observed run: %w", err)
+		}
+		if _, err := sim.RunObserved(s, nil, nil, cfg.Observer); err != nil {
+			return nil, fmt.Errorf("bench fig2: observed run: %w", err)
 		}
 	}
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"flb/internal/machine"
+	"flb/internal/obs"
 	"flb/internal/workload"
 )
 
@@ -49,6 +50,40 @@ func TestSchedulerSteadyStateAllocs(t *testing.T) {
 	})
 	if avg > 10 {
 		t.Errorf("reused Scheduler.Schedule allocates %.1f/run, want <= 10 (target 0)", avg)
+	}
+}
+
+// TestSchedulerObservedSteadyStateAllocs pins the enabled-observer path:
+// a warm arena-backed Recorder attached to a reused Scheduler keeps the
+// steady state allocation-free — the event arenas grow once and are
+// reused across Reset, so observability costs no garbage either way.
+// (The nil-observer case is TestSchedulerSteadyStateAllocs: the sink
+// field defaults to nil there, proving the guards add no allocations.)
+func TestSchedulerObservedSteadyStateAllocs(t *testing.T) {
+	g, err := workload.Instance("lu", 500, 1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	sys := machine.NewSystem(8)
+	sc := NewScheduler(FLB{})
+	rec := obs.NewRecorder()
+	sc.Observe(rec)
+	run := func() {
+		rec.Reset()
+		if _, err := sc.Schedule(g, sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		run()
+	}
+	avg := testing.AllocsPerRun(20, run)
+	if avg > 10 {
+		t.Errorf("observed Scheduler.Schedule allocates %.1f/run, want <= 10 (target 0)", avg)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder saw no events")
 	}
 }
 

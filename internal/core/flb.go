@@ -38,6 +38,7 @@ import (
 	"flb/internal/algo"
 	"flb/internal/graph"
 	"flb/internal/machine"
+	"flb/internal/obs"
 	"flb/internal/pq"
 	"flb/internal/schedule"
 )
@@ -47,10 +48,13 @@ import (
 // the paper motivates (§4, §6.2) so their contribution can be measured
 // (see BenchmarkAblation* and the tie-breaking discussion in DESIGN.md).
 type FLB struct {
-	// OnStep, when non-nil, is invoked once per scheduling iteration with a
-	// snapshot of the algorithm state *before* the placement plus the
-	// decision taken. It reproduces the paper's Table 1 execution trace.
-	OnStep func(Step)
+	// Sink, when non-nil, receives the decision trace: one obs.SchedStep
+	// per iteration (the paper's ScheduleTask comparison) plus
+	// obs.TaskReady / obs.TaskDemoted list transitions. A nil Sink costs
+	// one predictable branch per event site and keeps the hot path at
+	// zero allocations (DESIGN.md §11). Capture the paper's Table 1 with
+	// a StepRecorder (see Collect).
+	Sink obs.Sink
 
 	// NoBLTieBreak disables the bottom-level tie-breaking ("the task with
 	// the longest path to any exit task", §4.1); ties then fall through to
@@ -88,7 +92,7 @@ func (f FLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	s := schedule.New(g, sys)
 	s.Algorithm = f.Name()
 	st.reset(f, g, sys, s)
-	st.run(f.OnStep)
+	st.run()
 	st.release()
 	statePool.Put(st)
 	return s, nil
@@ -105,6 +109,7 @@ type flbState struct {
 	bl       []float64 // static bottom levels, tie-breaking priority
 	noBL     bool      // ablation: ignore bottom levels in tie-breaking
 	preferEP bool      // ablation: prefer the EP candidate on start ties
+	sink     obs.Sink  // nil = observability disabled (the fast path)
 
 	// Per ready task, fixed once the task becomes ready:
 	lmt []float64      // last message arrival time
@@ -134,6 +139,7 @@ func (st *flbState) reset(f FLB, g *graph.Graph, sys machine.System, s *schedule
 	st.g, st.sys, st.s = g, sys, s
 	st.bl = g.BottomLevels()
 	st.noBL, st.preferEP = f.NoBLTieBreak, f.PreferEPOnTie
+	st.sink = f.Sink
 	st.lmt = growFloat(st.lmt, n)
 	st.emt = growFloat(st.emt, n)
 	clear(st.lmt)
@@ -170,13 +176,17 @@ func (st *flbState) release() {
 	st.g = nil
 	st.s = nil
 	st.bl = nil
+	st.sink = nil
 }
 
 // run executes the scheduling loop. The arena must be reset first.
 //
 //flb:hotpath
-func (st *flbState) run(onStep func(Step)) {
+func (st *flbState) run() {
 	n := st.g.NumTasks()
+	if st.sink != nil {
+		st.sink.Begin(obs.Begin{Kind: obs.KindSchedule, Tasks: n, Procs: st.sys.P})
+	}
 	for p := 0; p < st.sys.P; p++ {
 		st.all.Push(p, pq.Key{Primary: 0})
 	}
@@ -186,10 +196,13 @@ func (st *flbState) run(onStep func(Step)) {
 		st.emt[t] = 0
 		st.ep[t] = -1
 		st.nonEP.Push(t, pq.Key{Primary: 0, Secondary: st.blKey(t)})
+		if st.sink != nil {
+			st.sink.TaskReady(obs.TaskReady{Task: t, BL: st.bl[t], EP: -1})
+		}
 	}
 
 	for iter := 0; iter < n; iter++ {
-		t, p, est, ok := st.scheduleTask(onStep)
+		t, p, est, ok := st.scheduleTask(iter)
 		if !ok {
 			// Unreachable on a validated DAG: there is always a ready task.
 			panic("core: FLB ran out of ready tasks before scheduling all tasks")
@@ -198,6 +211,9 @@ func (st *flbState) run(onStep func(Step)) {
 		st.updateTaskLists(p)
 		st.updateProcLists(p)
 		st.updateReadyTasks(t)
+	}
+	if st.sink != nil {
+		st.sink.End(obs.End{Kind: obs.KindSchedule, Makespan: st.s.Makespan()})
 	}
 }
 
@@ -241,7 +257,7 @@ func (st *flbState) blKey(t int) float64 {
 // computation.
 //
 //flb:hotpath
-func (st *flbState) scheduleTask(onStep func(Step)) (task int, proc machine.Proc, est float64, ok bool) {
+func (st *flbState) scheduleTask(iter int) (task int, proc machine.Proc, est float64, ok bool) {
 	haveEP := false
 	var t1 int
 	var p1 machine.Proc
@@ -279,8 +295,27 @@ func (st *flbState) scheduleTask(onStep func(Step)) (task int, proc machine.Proc
 		return 0, 0, 0, false
 	}
 
-	if onStep != nil {
-		onStep(st.snapshot(task, proc, est))
+	if st.sink != nil {
+		st.sink.SchedStep(obs.SchedStep{
+			Iter:       iter,
+			Task:       task,
+			Proc:       int(proc),
+			Start:      est,
+			Finish:     est + st.g.Comp(task),
+			HaveEP:     haveEP,
+			EPTask:     t1,
+			EPProc:     int(p1),
+			EPStart:    est1,
+			HaveNonEP:  haveNonEP,
+			NonEPTask:  t2,
+			NonEPProc:  int(p2),
+			NonEPStart: est2,
+			ChoseEP:    chooseEP,
+			//flb:exact the Tie flag reports the §4.1 tie rule, which fires only on bit-identical ESTs
+			Tie:         haveEP && haveNonEP && est1 == est2,
+			NonEPLen:    st.nonEP.Len(),
+			ActiveProcs: st.active.Len(),
+		})
 	}
 
 	if chooseEP {
@@ -308,6 +343,9 @@ func (st *flbState) updateTaskLists(p machine.Proc) {
 		st.lmtEP[p].Remove(t)
 		st.emtEP[p].Remove(t)
 		st.nonEP.Push(t, pq.Key{Primary: st.lmt[t], Secondary: st.blKey(t)})
+		if st.sink != nil {
+			st.sink.TaskDemoted(obs.TaskDemoted{Task: t, Proc: int(p), LMT: st.lmt[t]})
+		}
 	}
 }
 
@@ -367,6 +405,9 @@ func (st *flbState) classifyReady(nt int) {
 		// Non-EP type: it cannot start before LMT anywhere, and the
 		// enabling processor is busy past LMT.
 		st.nonEP.Push(nt, pq.Key{Primary: lmt, Secondary: st.blKey(nt)})
+		if st.sink != nil {
+			st.sink.TaskReady(obs.TaskReady{Task: nt, LMT: lmt, BL: st.bl[nt], EP: int(ep)})
+		}
 		return
 	}
 	// EP type: compute the effective message arrival time on ep.
@@ -379,6 +420,9 @@ func (st *flbState) classifyReady(nt int) {
 		}
 	}
 	st.emt[nt] = emt
+	if st.sink != nil {
+		st.sink.TaskReady(obs.TaskReady{Task: nt, LMT: lmt, EMT: emt, BL: st.bl[nt], EP: int(ep), IsEP: true})
+	}
 	st.emtEP[ep].Push(nt, pq.Key{Primary: emt, Secondary: st.blKey(nt)})
 	st.lmtEP[ep].Push(nt, pq.Key{Primary: lmt, Secondary: st.blKey(nt)})
 	// The enabling processor may have become active, or its best EP task

@@ -434,7 +434,7 @@ func TestFLBAblationsStillSelectGlobalMinEST(t *testing.T) {
 		P := 1 + rng.Intn(4)
 		for _, f := range variants {
 			var steps []Step
-			f.OnStep = func(s Step) { steps = append(steps, s) }
+			f.Sink = NewStepRecorder(&steps)
 			if _, err := f.Schedule(g, machine.NewSystem(P)); err != nil {
 				t.Fatal(err)
 			}

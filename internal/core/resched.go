@@ -5,6 +5,7 @@ import (
 
 	"flb/internal/fault"
 	"flb/internal/machine"
+	"flb/internal/obs"
 	"flb/internal/schedule"
 )
 
@@ -32,7 +33,16 @@ type Rescheduler struct {
 	pending []int
 	inPlan  []bool
 	procMap []machine.Proc
+	sink    obs.Sink
 }
+
+// Observe sets the sink receiving one obs.SchedStep per repair placement
+// (winner only — the repair loop has no EP/non-EP candidate split),
+// bracketed by obs.KindRepair Begin/End events. The embedded cold-start
+// sub-scheduler is deliberately not observed: its processor indices are
+// sub-machine-local and would mislead a trace consumer. Nil disables
+// observability (the zero-allocation path).
+func (r *Rescheduler) Observe(s obs.Sink) { r.sink = s }
 
 // NewRescheduler returns an empty repair arena running the default FLB
 // variant.
@@ -45,6 +55,9 @@ func (r *Rescheduler) Repair(req *fault.Request) error {
 	alive := req.AliveCount()
 	if alive == 0 {
 		return fmt.Errorf("core: reschedule with no surviving processors")
+	}
+	if r.sink != nil {
+		r.sink.Begin(obs.Begin{Kind: obs.KindRepair, Tasks: len(req.Todo), Procs: req.Sys.P})
 	}
 	if r.coldStart(req) {
 		return r.repairCold(req, alive)
@@ -80,8 +93,20 @@ func (r *Rescheduler) repairCold(req *fault.Request, alive int) error {
 	if err != nil {
 		return err
 	}
-	for _, t := range sub.PlacementOrder() {
+	for i, t := range sub.PlacementOrder() {
 		req.Assign(t, r.procMap[sub.Proc(t)])
+		if r.sink != nil {
+			r.sink.SchedStep(obs.SchedStep{
+				Iter:   i,
+				Task:   t,
+				Proc:   int(r.procMap[sub.Proc(t)]),
+				Start:  sub.Start(t),
+				Finish: sub.Finish(t),
+			})
+		}
+	}
+	if r.sink != nil {
+		r.sink.End(obs.End{Kind: obs.KindRepair, Makespan: sub.Makespan()})
 	}
 	return nil
 }
@@ -144,6 +169,15 @@ func (r *Rescheduler) repairSuffix(req *fault.Request) error {
 		}
 		r.plan.Place(bt, bp, best)
 		req.Assign(bt, bp)
+		if r.sink != nil {
+			r.sink.SchedStep(obs.SchedStep{
+				Iter:   placed,
+				Task:   bt,
+				Proc:   int(bp),
+				Start:  best,
+				Finish: best + g.Comp(bt),
+			})
+		}
 		r.inPlan[bt] = false
 		r.ready[bi] = r.ready[len(r.ready)-1]
 		r.ready = r.ready[:len(r.ready)-1]
@@ -157,6 +191,9 @@ func (r *Rescheduler) repairSuffix(req *fault.Request) error {
 				r.ready = append(r.ready, to)
 			}
 		}
+	}
+	if r.sink != nil {
+		r.sink.End(obs.End{Kind: obs.KindRepair, Makespan: r.plan.Makespan()})
 	}
 	return nil
 }

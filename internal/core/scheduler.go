@@ -6,6 +6,7 @@ import (
 	"flb/internal/algo"
 	"flb/internal/graph"
 	"flb/internal/machine"
+	"flb/internal/obs"
 	"flb/internal/schedule"
 )
 
@@ -53,6 +54,10 @@ func (sc *Scheduler) Schedule(g *graph.Graph, sys machine.System) (*schedule.Sch
 	}
 	sc.out.Algorithm = sc.cfg.Name()
 	sc.st.reset(sc.cfg, g, sys, sc.out)
-	sc.st.run(sc.cfg.OnStep)
+	sc.st.run()
 	return sc.out, nil
 }
+
+// Observe sets the sink receiving the decision trace of subsequent
+// Schedule calls; nil disables observability (the zero-allocation path).
+func (sc *Scheduler) Observe(s obs.Sink) { sc.cfg.Sink = s }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"flb/internal/machine"
+	"flb/internal/obs"
 )
 
 // TaskView is the trace's snapshot of one queued ready task — the values
@@ -39,65 +40,142 @@ type Step struct {
 	Finish float64
 }
 
-// snapshot captures the current ready lists and the pending decision.
+// StepRecorder is the obs.Sink that reconstructs the paper's Table 1 rows
+// from the scheduler's event stream: it mirrors the ready lists through
+// obs.TaskReady and obs.TaskDemoted transitions and emits one Step per
+// obs.SchedStep decision. It replaces the snapshot path the scheduler used
+// to carry inline — the hot loop now publishes events and this sink pays
+// the allocation cost of materializing list snapshots.
+type StepRecorder struct {
+	obs.NopSink
+	steps *[]Step
+
+	iter  int
+	ep    [][]int // per proc: EP-type ready tasks, unordered
+	nonEP []int   // non-EP-type ready tasks, unordered
+
+	// Last observed per-task values. A demoted task keeps the EMT it had
+	// as an EP-type task — exactly what the paper's table prints.
+	lmt, emt, bl []float64
+}
+
+// NewStepRecorder returns a sink appending one Step per scheduling
+// decision to *steps.
+func NewStepRecorder(steps *[]Step) *StepRecorder {
+	return &StepRecorder{steps: steps}
+}
+
+// Begin resets the mirrored ready lists for a new run.
+func (sr *StepRecorder) Begin(e obs.Begin) {
+	if e.Kind != obs.KindSchedule {
+		return
+	}
+	sr.iter = 0
+	if cap(sr.ep) < e.Procs {
+		sr.ep = make([][]int, e.Procs)
+	} else {
+		sr.ep = sr.ep[:e.Procs]
+	}
+	for p := range sr.ep {
+		sr.ep[p] = sr.ep[p][:0]
+	}
+	sr.nonEP = sr.nonEP[:0]
+	sr.lmt = growFloat(sr.lmt, e.Tasks)
+	sr.emt = growFloat(sr.emt, e.Tasks)
+	sr.bl = growFloat(sr.bl, e.Tasks)
+}
+
+// TaskReady files the task into the mirrored list its classification
+// selects.
+func (sr *StepRecorder) TaskReady(e obs.TaskReady) {
+	sr.lmt[e.Task] = e.LMT
+	sr.emt[e.Task] = e.EMT
+	sr.bl[e.Task] = e.BL
+	if e.IsEP {
+		sr.ep[e.EP] = append(sr.ep[e.EP], e.Task)
+	} else {
+		sr.nonEP = append(sr.nonEP, e.Task)
+	}
+}
+
+// TaskDemoted moves the task to the non-EP mirror, retaining its EP-era
+// EMT.
+func (sr *StepRecorder) TaskDemoted(e obs.TaskDemoted) {
+	sr.ep[e.Proc] = remove(sr.ep[e.Proc], e.Task)
+	sr.nonEP = append(sr.nonEP, e.Task)
+}
+
+// SchedStep materializes one Table 1 row from the mirrored lists, then
+// removes the placed task.
 //
 //flb:exact trace ordering mirrors the heaps' exact lexicographic comparators so Table 1 rows match the pop order
-func (st *flbState) snapshot(task int, proc machine.Proc, est float64) Step {
+func (sr *StepRecorder) SchedStep(e obs.SchedStep) {
 	step := Step{
-		Iter:    st.s.Graph().NumTasks(), // replaced below; placed count works too
-		EPTasks: make([][]TaskView, st.sys.P),
-		Task:    task,
-		Proc:    proc,
-		Start:   est,
-		Finish:  est + st.g.Comp(task),
+		Iter:    sr.iter,
+		EPTasks: make([][]TaskView, len(sr.ep)),
+		Task:    e.Task,
+		Proc:    machine.Proc(e.Proc),
+		Start:   e.Start,
+		Finish:  e.Finish,
 	}
-	iter := 0
-	for t := 0; t < st.g.NumTasks(); t++ {
-		if st.s.Assigned(t) {
-			iter++
-		}
-	}
-	step.Iter = iter
-	view := func(t int) TaskView {
-		return TaskView{Task: t, EMT: st.emt[t], LMT: st.lmt[t], BL: st.bl[t]}
-	}
-	for p := 0; p < st.sys.P; p++ {
-		ids := st.emtEP[p].Items()
+	sr.iter++
+	for p, ids := range sr.ep {
+		ids := append([]int(nil), ids...)
 		sort.Slice(ids, func(i, j int) bool {
 			a, b := ids[i], ids[j]
-			if st.emt[a] != st.emt[b] {
-				return st.emt[a] < st.emt[b]
+			if sr.emt[a] != sr.emt[b] {
+				return sr.emt[a] < sr.emt[b]
 			}
-			if st.bl[a] != st.bl[b] {
-				return st.bl[a] > st.bl[b]
+			if sr.bl[a] != sr.bl[b] {
+				return sr.bl[a] > sr.bl[b]
 			}
 			return a < b
 		})
 		for _, t := range ids {
-			step.EPTasks[p] = append(step.EPTasks[p], view(t))
+			step.EPTasks[p] = append(step.EPTasks[p], sr.view(t))
 		}
 	}
-	ids := st.nonEP.Items()
+	ids := append([]int(nil), sr.nonEP...)
 	sort.Slice(ids, func(i, j int) bool {
 		a, b := ids[i], ids[j]
-		if st.lmt[a] != st.lmt[b] {
-			return st.lmt[a] < st.lmt[b]
+		if sr.lmt[a] != sr.lmt[b] {
+			return sr.lmt[a] < sr.lmt[b]
 		}
-		if st.bl[a] != st.bl[b] {
-			return st.bl[a] > st.bl[b]
+		if sr.bl[a] != sr.bl[b] {
+			return sr.bl[a] > sr.bl[b]
 		}
 		return a < b
 	})
 	for _, t := range ids {
-		step.NonEP = append(step.NonEP, view(t))
+		step.NonEP = append(step.NonEP, sr.view(t))
 	}
-	return step
+	*sr.steps = append(*sr.steps, step)
+
+	if e.ChoseEP {
+		sr.ep[e.Proc] = remove(sr.ep[e.Proc], e.Task)
+	} else {
+		sr.nonEP = remove(sr.nonEP, e.Task)
+	}
 }
 
-// Collect returns an FLB whose OnStep appends every Step to the returned
-// slice pointer — the convenient way to record a full trace.
+func (sr *StepRecorder) view(t int) TaskView {
+	return TaskView{Task: t, EMT: sr.emt[t], LMT: sr.lmt[t], BL: sr.bl[t]}
+}
+
+// remove deletes the first occurrence of t from ids, preserving order.
+func remove(ids []int, t int) []int {
+	for i, v := range ids {
+		if v == t {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Collect returns an FLB whose Sink appends every decision as a Step to
+// the slice pointer — the convenient way to record a full Table 1 trace.
 func Collect(steps *[]Step) FLB {
-	return FLB{OnStep: func(s Step) { *steps = append(*steps, s) }}
+	return FLB{Sink: NewStepRecorder(steps)}
 }
 
 // FormatTrace renders steps in the layout of the paper's Table 1: one row

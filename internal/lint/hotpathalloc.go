@@ -27,6 +27,16 @@ var HotPathAlloc = &Analyzer{
 	Run: runHotPathAlloc,
 }
 
+// allocOKBanned lists the packages where //flb:alloc-ok may not appear
+// inside hot paths: the scheduler and simulator loops must stay
+// allocation-free with a nil observer, so allocating work belongs in an
+// obs.Sink implementation, never suppressed in place. Sink packages
+// (internal/obs and others) remain free to justify allocations.
+var allocOKBanned = map[string]bool{
+	"flb/internal/core": true,
+	"flb/internal/sim":  true,
+}
+
 // requiredHotpath lists, per package, the receiver-qualified functions
 // that must carry //flb:hotpath: the per-iteration FLB procedures, the
 // O(log n) heap operations, and the CSR adjacency accessors.
@@ -90,6 +100,10 @@ func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
 	}
 	report := func(pos token.Pos, format string, args ...any) {
 		if d, ok := p.DirectiveAt(pos, "alloc-ok"); ok {
+			if allocOKBanned[p.Pkg.Path] {
+				p.Reportf(pos, "//flb:alloc-ok is banned in %s hot paths: keep the nil-observer fast path allocation-free and move allocating work into an obs.Sink implementation", p.Pkg.Path)
+				return
+			}
 			p.requireJustified(d, pos)
 			return
 		}

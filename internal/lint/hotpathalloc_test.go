@@ -16,3 +16,16 @@ func TestHotPathAlloc(t *testing.T) {
 func TestHotPathAllocRequiredMarkers(t *testing.T) {
 	lint.RunTest(t, "testdata", lint.HotPathAlloc, "flb/internal/graph")
 }
+
+// TestHotPathAllocBanInSim checks the alloc-ok ban on a testdata package
+// whose import path shadows flb/internal/sim: there the suppression
+// itself is the finding, keeping the nil-observer fast path honest.
+func TestHotPathAllocBanInSim(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.HotPathAlloc, "flb/internal/sim")
+}
+
+// TestHotPathAllocOKInSinks checks that outside core/sim a justified
+// alloc-ok still suppresses findings — sink implementations may allocate.
+func TestHotPathAllocOKInSinks(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.HotPathAlloc, "hotpathalloc/sink")
+}

@@ -1,0 +1,20 @@
+// Package sim mirrors the real simulator package to exercise the
+// alloc-ok ban: under the import path flb/internal/sim a line-level
+// //flb:alloc-ok no longer suppresses a hot-path allocation finding — it
+// becomes one. The nil-observer fast path must stay allocation-free;
+// allocating work belongs in a sink implementation.
+package sim
+
+//flb:hotpath
+func runEpoch(n int) []float64 {
+	//flb:alloc-ok drawing costs per epoch is fine, says the optimist
+	out := make([]float64, n) // want `//flb:alloc-ok is banned in flb/internal/sim hot paths`
+	return out
+}
+
+// observe is unmarked: alloc-ok outside a hot path is inert and the
+// allocation draws no finding.
+func observe(n int) []float64 {
+	//flb:alloc-ok sinks may allocate
+	return make([]float64, n)
+}

@@ -1,0 +1,15 @@
+// Package sink seeds the allowed side of the alloc-ok ban: outside the
+// core/sim packages a justified line-level //flb:alloc-ok still
+// suppresses hot-path allocation findings, which is how sink
+// implementations justify their amortized arena growth.
+package sink
+
+type recorder struct {
+	events []int
+}
+
+//flb:hotpath
+func (r *recorder) record(e int) {
+	//flb:alloc-ok arena append amortizes into retained capacity across runs
+	r.events = append(r.events[:0:0], e)
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ChromeTrace is a streaming sink that writes the event stream in the
+// Chrome Trace Event JSON format, loadable in chrome://tracing and
+// Perfetto (ui.perfetto.dev):
+//
+//   - one track (thread) per processor, with a complete ("X") event per
+//     executed task;
+//   - flow events ("s" → "f") connecting a message's producer slice to
+//     its consumer slice;
+//   - global instant events ("i") for crashes, repairs and message
+//     retries.
+//
+// One simulated time unit maps to one millisecond of trace time (the
+// format's ts field is in microseconds).
+//
+// The output is byte-deterministic for a deterministic event stream: a
+// fixed field order, a fixed float format, and no wall-clock values
+// (RepairEvent.WallNanos is deliberately not exported). Scheduler
+// decision events (SchedStep, TaskReady, TaskDemoted) have no natural
+// timeline and are ignored; record them with a Recorder or aggregate them
+// with Metrics instead.
+//
+// Call Close after the observed run to terminate the JSON document.
+type ChromeTrace struct {
+	// TaskNames, when non-nil, maps task IDs to slice names; nil labels
+	// tasks t0, t1, ...
+	TaskNames func(task int) string
+
+	w     *bufio.Writer
+	err   error
+	first bool   // no event written yet (comma discipline)
+	meta  bool   // per-processor metadata already emitted
+	buf   []byte // scratch for number formatting
+	flow  int    // next flow event id
+	// lastStart[p] is the start of the newest slice on processor p's
+	// track: flow ends clamp to it so they always bind to the consumer's
+	// slice even when the message arrived while the processor was busy.
+	lastStart []float64
+}
+
+// NewChromeTrace returns a ChromeTrace writing to w. The caller must
+// Close it to produce valid JSON.
+func NewChromeTrace(w io.Writer) *ChromeTrace {
+	c := &ChromeTrace{w: bufio.NewWriter(w), first: true}
+	c.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return c
+}
+
+// Close terminates the JSON document and flushes. It returns the first
+// error encountered while writing, if any.
+func (c *ChromeTrace) Close() error {
+	c.raw("\n]}\n")
+	if err := c.w.Flush(); c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// tsScale converts simulated time units to trace microseconds (1 unit =
+// 1 ms).
+const tsScale = 1000
+
+func (c *ChromeTrace) raw(s string) {
+	if c.err != nil {
+		return
+	}
+	if _, err := c.w.WriteString(s); err != nil {
+		c.err = err
+	}
+}
+
+// open starts one event object, handling the separating comma.
+func (c *ChromeTrace) open() {
+	if c.first {
+		c.first = false
+		c.raw("\n{")
+		return
+	}
+	c.raw(",\n{")
+}
+
+func (c *ChromeTrace) str(key, val string) {
+	c.raw(`"` + key + `":"` + val + `",`)
+}
+
+func (c *ChromeTrace) num(key string, v float64) {
+	c.buf = strconv.AppendFloat(c.buf[:0], v, 'g', -1, 64)
+	c.raw(`"` + key + `":` + string(c.buf) + `,`)
+}
+
+func (c *ChromeTrace) inte(key string, v int) {
+	c.buf = strconv.AppendInt(c.buf[:0], int64(v), 10)
+	c.raw(`"` + key + `":` + string(c.buf) + `,`)
+}
+
+// close ends one event object. The trailing pid doubles as the required
+// final field without a comma.
+func (c *ChromeTrace) close() {
+	c.raw(`"pid":0}`)
+}
+
+func (c *ChromeTrace) taskName(t int) string {
+	if c.TaskNames != nil {
+		if n := c.TaskNames(t); n != "" {
+			return n
+		}
+	}
+	return "t" + strconv.Itoa(t)
+}
+
+// Begin emits the per-processor thread metadata once, so tracks are
+// labeled and ordered p0, p1, ... regardless of event arrival order.
+func (c *ChromeTrace) Begin(e Begin) {
+	if c.meta {
+		return
+	}
+	c.meta = true
+	if cap(c.lastStart) < e.Procs {
+		c.lastStart = make([]float64, e.Procs)
+	} else {
+		c.lastStart = c.lastStart[:e.Procs]
+	}
+	c.open()
+	c.str("name", "process_name")
+	c.str("ph", "M")
+	c.raw(`"args":{"name":"flb"},`)
+	c.close()
+	for p := 0; p < e.Procs; p++ {
+		c.open()
+		c.str("name", "thread_name")
+		c.str("ph", "M")
+		c.inte("tid", p)
+		c.raw(`"args":{"name":"p` + strconv.Itoa(p) + `"},`)
+		c.close()
+		c.open()
+		c.str("name", "thread_sort_index")
+		c.str("ph", "M")
+		c.inte("tid", p)
+		c.raw(`"args":{"sort_index":` + strconv.Itoa(p) + `},`)
+		c.close()
+	}
+}
+
+// TaskStart emits the task's complete ("X") slice; the simulators know
+// the finish time at start time, so no matching end event is needed.
+func (c *ChromeTrace) TaskStart(e TaskEvent) {
+	if e.Proc >= 0 && e.Proc < len(c.lastStart) {
+		c.lastStart[e.Proc] = e.Start
+	}
+	c.open()
+	c.str("name", c.taskName(e.Task))
+	c.str("cat", "task")
+	c.str("ph", "X")
+	c.num("ts", e.Start*tsScale)
+	c.num("dur", (e.Finish-e.Start)*tsScale)
+	c.inte("tid", e.Proc)
+	c.close()
+}
+
+// TaskFinish is a no-op: TaskStart already carries the full span.
+func (c *ChromeTrace) TaskFinish(TaskEvent) {}
+
+// MessageArrive emits the flow-event pair connecting the producer's slice
+// to the consumer's. The flow end clamps to the consumer slice's start so
+// Perfetto binds it even when the message arrived before the consumer
+// could start.
+func (c *ChromeTrace) MessageArrive(e Message) {
+	id := c.flow
+	c.flow++
+	name := c.taskName(e.From) + "→" + c.taskName(e.To)
+	c.open()
+	c.str("name", name)
+	c.str("cat", "msg")
+	c.str("ph", "s")
+	c.inte("id", id)
+	c.num("ts", e.Send*tsScale)
+	c.inte("tid", e.FromProc)
+	c.close()
+	at := e.Arrive
+	if e.ToProc >= 0 && e.ToProc < len(c.lastStart) && c.lastStart[e.ToProc] > at {
+		at = c.lastStart[e.ToProc]
+	}
+	c.open()
+	c.str("name", name)
+	c.str("cat", "msg")
+	c.str("ph", "f")
+	c.str("bp", "e")
+	c.inte("id", id)
+	c.num("ts", at*tsScale)
+	c.inte("tid", e.ToProc)
+	c.close()
+}
+
+// MessageSend is a no-op: MessageArrive carries both endpoints.
+func (c *ChromeTrace) MessageSend(Message) {}
+
+// MessageRetry emits an instant event on the consumer's track marking the
+// retransmission delay the fetch paid.
+func (c *ChromeTrace) MessageRetry(e Message) {
+	c.open()
+	c.str("name", "retry×"+strconv.Itoa(e.Retries)+" "+c.taskName(e.From)+"→"+c.taskName(e.To))
+	c.str("cat", "fault")
+	c.str("ph", "i")
+	c.str("s", "t")
+	c.num("ts", e.Arrive*tsScale)
+	c.inte("tid", e.ToProc)
+	c.close()
+}
+
+// Crash emits a global instant event at the failure time.
+func (c *ChromeTrace) Crash(e CrashEvent) {
+	c.open()
+	c.str("name", "crash p"+strconv.Itoa(e.Proc))
+	c.str("cat", "fault")
+	c.str("ph", "i")
+	c.str("s", "g")
+	c.num("ts", e.Time*tsScale)
+	c.inte("tid", e.Proc)
+	c.close()
+}
+
+// Repair emits a global instant event for the repair epoch. WallNanos is
+// deliberately omitted to keep the output byte-deterministic.
+func (c *ChromeTrace) Repair(e RepairEvent) {
+	c.open()
+	c.str("name", "repair "+strconv.Itoa(e.Pending)+" tasks")
+	c.str("cat", "fault")
+	c.str("ph", "i")
+	c.str("s", "g")
+	c.num("ts", e.Time*tsScale)
+	c.inte("tid", e.Proc)
+	c.close()
+}
+
+// Scheduler decision events have no timeline; see the type comment.
+func (c *ChromeTrace) SchedStep(SchedStep)     {}
+func (c *ChromeTrace) TaskReady(TaskReady)     {}
+func (c *ChromeTrace) TaskDemoted(TaskDemoted) {}
+func (c *ChromeTrace) End(End)                 {}

@@ -1,0 +1,147 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flb/internal/obs"
+)
+
+func chromeBytes(t *testing.T, names func(int) string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	c := obs.NewChromeTrace(&buf)
+	c.TaskNames = names
+	feed(c)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChromeTraceGolden checks the exporter end to end: the output is
+// byte-deterministic across identical streams, parses as JSON, and every
+// event carries the Trace Event Format's required fields.
+func TestChromeTraceGolden(t *testing.T) {
+	out := chromeBytes(t, nil)
+	if again := chromeBytes(t, nil); !bytes.Equal(out, again) {
+		t.Fatalf("output is not byte-deterministic:\n%s\n----\n%s", out, again)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+
+	phases := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		ph, ok := e["ph"].(string)
+		if !ok {
+			t.Fatalf("event %d has no ph: %v", i, e)
+		}
+		phases[ph]++
+		if _, ok := e["pid"].(float64); !ok {
+			t.Errorf("event %d has no numeric pid: %v", i, e)
+		}
+		if _, ok := e["name"].(string); !ok {
+			t.Errorf("event %d has no name: %v", i, e)
+		}
+		if ph != "M" {
+			if _, ok := e["ts"].(float64); !ok {
+				t.Errorf("event %d (ph=%s) has no numeric ts: %v", i, ph, e)
+			}
+		}
+	}
+	// The synthetic stream (see feed): metadata for 2 procs, 3 task
+	// slices, 2 flow pairs, 1 retry + 1 crash + 1 repair instant.
+	for ph, want := range map[string]int{"M": 5, "X": 3, "s": 2, "f": 2, "i": 3} {
+		if phases[ph] != want {
+			t.Errorf("ph %q: %d events, want %d (all: %v)", ph, phases[ph], want, phases)
+		}
+	}
+
+	// Simulated time maps 1 unit → 1000 µs: task 2 starts at 5 → ts 5000.
+	if !bytes.Contains(out, []byte(`"ts":5000`)) {
+		t.Errorf("missing scaled ts 5000:\n%s", out)
+	}
+	// The second flow arrives at 5.5 while its consumer starts at 5; the
+	// flow end must keep ts 5500 (arrive ≥ slice start, no clamp needed).
+	if !bytes.Contains(out, []byte(`"ph":"f","bp":"e","id":1,"ts":5500`)) {
+		t.Errorf("flow end not bound as expected:\n%s", out)
+	}
+}
+
+// TestChromeTraceFlowClamp checks that a flow end arriving before the
+// consumer's slice start is clamped forward so viewers bind it.
+func TestChromeTraceFlowClamp(t *testing.T) {
+	var buf bytes.Buffer
+	c := obs.NewChromeTrace(&buf)
+	c.Begin(obs.Begin{Kind: obs.KindSim, Tasks: 2, Procs: 2})
+	c.TaskStart(obs.TaskEvent{Task: 0, Proc: 0, Start: 0, Finish: 1})
+	// Consumer starts at 4, but the message arrived at 2.
+	c.TaskStart(obs.TaskEvent{Task: 1, Proc: 1, Start: 4, Finish: 6})
+	c.MessageArrive(obs.Message{From: 0, To: 1, FromProc: 0, ToProc: 1, Send: 1, Arrive: 2})
+	c.End(obs.End{Kind: obs.KindSim, Makespan: 6})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ph":"f","bp":"e","id":0,"ts":4000`) {
+		t.Errorf("flow end not clamped to the consumer slice start:\n%s", out)
+	}
+}
+
+// TestChromeTraceTaskNames checks custom naming and the t<N> fallback.
+func TestChromeTraceTaskNames(t *testing.T) {
+	named := chromeBytes(t, func(id int) string {
+		if id == 0 {
+			return "lu_root"
+		}
+		return "" // fall back
+	})
+	if !bytes.Contains(named, []byte(`"name":"lu_root"`)) {
+		t.Errorf("custom task name missing:\n%s", named)
+	}
+	if !bytes.Contains(named, []byte(`"name":"t1"`)) {
+		t.Errorf("fallback task name missing:\n%s", named)
+	}
+}
+
+// errWriter fails after n bytes to exercise the error path.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errShort
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errShort = &shortError{}
+
+type shortError struct{}
+
+func (*shortError) Error() string { return "short write" }
+
+func TestChromeTraceWriteError(t *testing.T) {
+	c := obs.NewChromeTrace(&errWriter{n: 16})
+	feed(c)
+	if err := c.Close(); err == nil {
+		t.Error("Close did not surface the write error")
+	}
+}

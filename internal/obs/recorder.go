@@ -1,0 +1,190 @@
+package obs
+
+// event kinds of the Recorder's arrival log.
+const (
+	evBegin uint8 = iota
+	evSchedStep
+	evTaskReady
+	evTaskDemoted
+	evTaskStart
+	evTaskFinish
+	evMessageSend
+	evMessageArrive
+	evMessageRetry
+	evCrash
+	evRepair
+	evEnd
+)
+
+// Recorder is the in-memory sink: it stores every event in typed arenas
+// (one slice per event kind plus an arrival log) in exactly the order the
+// instrumented code emitted them. Because the scheduler and simulators
+// are deterministic, two identical runs record identical streams.
+//
+// A Recorder is reusable: Reset truncates the arenas without releasing
+// their capacity, so recording in a loop reaches zero steady-state
+// allocations once the arenas have grown to the largest run seen. Consume
+// a recording with Replay (feed the stream into another sink, e.g. a
+// ChromeTrace or Metrics) or through the typed accessors.
+type Recorder struct {
+	log []uint8 // arrival order, indexing into the arenas below
+
+	begins   []Begin
+	steps    []SchedStep
+	readies  []TaskReady
+	demotes  []TaskDemoted
+	starts   []TaskEvent
+	finishes []TaskEvent
+	sends    []Message
+	arrives  []Message
+	retries  []Message
+	crashes  []CrashEvent
+	repairs  []RepairEvent
+	ends     []End
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Reset truncates the recording, keeping the arenas' capacity.
+func (r *Recorder) Reset() {
+	r.log = r.log[:0]
+	r.begins = r.begins[:0]
+	r.steps = r.steps[:0]
+	r.readies = r.readies[:0]
+	r.demotes = r.demotes[:0]
+	r.starts = r.starts[:0]
+	r.finishes = r.finishes[:0]
+	r.sends = r.sends[:0]
+	r.arrives = r.arrives[:0]
+	r.retries = r.retries[:0]
+	r.crashes = r.crashes[:0]
+	r.repairs = r.repairs[:0]
+	r.ends = r.ends[:0]
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.log) }
+
+// Replay feeds the recorded stream into s in arrival order.
+func (r *Recorder) Replay(s Sink) {
+	var ib, is, ir, id, it, if_, ims, ima, imr, ic, irp, ie int
+	for _, k := range r.log {
+		switch k {
+		case evBegin:
+			s.Begin(r.begins[ib])
+			ib++
+		case evSchedStep:
+			s.SchedStep(r.steps[is])
+			is++
+		case evTaskReady:
+			s.TaskReady(r.readies[ir])
+			ir++
+		case evTaskDemoted:
+			s.TaskDemoted(r.demotes[id])
+			id++
+		case evTaskStart:
+			s.TaskStart(r.starts[it])
+			it++
+		case evTaskFinish:
+			s.TaskFinish(r.finishes[if_])
+			if_++
+		case evMessageSend:
+			s.MessageSend(r.sends[ims])
+			ims++
+		case evMessageArrive:
+			s.MessageArrive(r.arrives[ima])
+			ima++
+		case evMessageRetry:
+			s.MessageRetry(r.retries[imr])
+			imr++
+		case evCrash:
+			s.Crash(r.crashes[ic])
+			ic++
+		case evRepair:
+			s.Repair(r.repairs[irp])
+			irp++
+		case evEnd:
+			s.End(r.ends[ie])
+			ie++
+		}
+	}
+}
+
+// Steps returns the recorded scheduling decisions in order. The returned
+// slice aliases the arena: valid until the next Reset.
+func (r *Recorder) Steps() []SchedStep { return r.steps }
+
+// TaskFinishes returns the recorded task execution spans in finish-event
+// order. The returned slice aliases the arena: valid until the next Reset.
+func (r *Recorder) TaskFinishes() []TaskEvent { return r.finishes }
+
+// Messages returns the recorded message arrivals. The returned slice
+// aliases the arena: valid until the next Reset.
+func (r *Recorder) Messages() []Message { return r.arrives }
+
+// Crashes returns the recorded crashes. Aliases the arena.
+func (r *Recorder) Crashes() []CrashEvent { return r.crashes }
+
+// Repairs returns the recorded repair epochs. Aliases the arena.
+func (r *Recorder) Repairs() []RepairEvent { return r.repairs }
+
+func (r *Recorder) Begin(e Begin) {
+	r.log = append(r.log, evBegin)
+	r.begins = append(r.begins, e)
+}
+
+func (r *Recorder) SchedStep(e SchedStep) {
+	r.log = append(r.log, evSchedStep)
+	r.steps = append(r.steps, e)
+}
+
+func (r *Recorder) TaskReady(e TaskReady) {
+	r.log = append(r.log, evTaskReady)
+	r.readies = append(r.readies, e)
+}
+
+func (r *Recorder) TaskDemoted(e TaskDemoted) {
+	r.log = append(r.log, evTaskDemoted)
+	r.demotes = append(r.demotes, e)
+}
+
+func (r *Recorder) TaskStart(e TaskEvent) {
+	r.log = append(r.log, evTaskStart)
+	r.starts = append(r.starts, e)
+}
+
+func (r *Recorder) TaskFinish(e TaskEvent) {
+	r.log = append(r.log, evTaskFinish)
+	r.finishes = append(r.finishes, e)
+}
+
+func (r *Recorder) MessageSend(e Message) {
+	r.log = append(r.log, evMessageSend)
+	r.sends = append(r.sends, e)
+}
+
+func (r *Recorder) MessageArrive(e Message) {
+	r.log = append(r.log, evMessageArrive)
+	r.arrives = append(r.arrives, e)
+}
+
+func (r *Recorder) MessageRetry(e Message) {
+	r.log = append(r.log, evMessageRetry)
+	r.retries = append(r.retries, e)
+}
+
+func (r *Recorder) Crash(e CrashEvent) {
+	r.log = append(r.log, evCrash)
+	r.crashes = append(r.crashes, e)
+}
+
+func (r *Recorder) Repair(e RepairEvent) {
+	r.log = append(r.log, evRepair)
+	r.repairs = append(r.repairs, e)
+}
+
+func (r *Recorder) End(e End) {
+	r.log = append(r.log, evEnd)
+	r.ends = append(r.ends, e)
+}

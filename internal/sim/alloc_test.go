@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"flb/internal/core"
+	"flb/internal/machine"
+	"flb/internal/obs"
+	"flb/internal/workload"
+)
+
+// The simulators are instrumented with guarded obs emissions; these tests
+// pin the overhead discipline (obs package comment): a nil sink must add
+// nothing to the execution hot loop, and an arena sink reaches zero
+// steady-state allocations once warm.
+
+func TestRunNilObserverAddsNoAllocs(t *testing.T) {
+	g, err := workload.Instance("lu", 300, 1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	s, err := core.FLB{}.Schedule(g, machine.NewSystem(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := Run(s, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := testing.AllocsPerRun(20, func() {
+		if _, err := Run(s, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	observedNil := testing.AllocsPerRun(20, func() {
+		if _, err := RunObserved(s, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if observedNil > base {
+		t.Errorf("nil observer adds allocations: %.1f/run observed vs %.1f/run base", observedNil, base)
+	}
+
+	// A warm arena-backed Recorder adds nothing either: the event arenas
+	// are grown once and reused across Reset.
+	rec := obs.NewRecorder()
+	for i := 0; i < 2; i++ {
+		rec.Reset()
+		if _, err := RunObserved(s, nil, nil, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recorded := testing.AllocsPerRun(20, func() {
+		rec.Reset()
+		if _, err := RunObserved(s, nil, nil, rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if recorded > base {
+		t.Errorf("warm Recorder adds allocations: %.1f/run recorded vs %.1f/run base", recorded, base)
+	}
+}

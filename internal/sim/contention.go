@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"flb/internal/obs"
 	"flb/internal/schedule"
 )
 
@@ -76,6 +77,16 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h 
 // With contention the makespan can only grow relative to Run's; the
 // returned Result reports the contended times.
 func RunContended(s *schedule.Schedule, net Network) (*Result, error) {
+	return RunContendedObserved(s, net, nil)
+}
+
+// RunContendedObserved is RunContended with an observer: sink, when
+// non-nil, receives the contended timeline — task spans, plus an
+// obs.MessageSend when a remote message wins its network resource and the
+// matching obs.MessageArrive at delivery — bracketed by
+// obs.KindSimContended Begin/End events. A nil sink adds nothing to
+// RunContended's cost.
+func RunContendedObserved(s *schedule.Schedule, net Network, sink obs.Sink) (*Result, error) {
 	if !s.Complete() {
 		return nil, fmt.Errorf("sim: schedule is incomplete")
 	}
@@ -121,10 +132,17 @@ func RunContended(s *schedule.Schedule, net Network) (*Result, error) {
 		}
 	}
 
+	if sink != nil {
+		sink.Begin(obs.Begin{Kind: obs.KindSimContended, Tasks: n, Procs: sys.P})
+	}
 	res := &Result{
 		Start:       make([]float64, n),
 		Finish:      make([]float64, n),
 		Utilization: make([]float64, sys.P),
+	}
+	var sendAt []float64 // per edge: transmission begin, for arrival events
+	if sink != nil {
+		sendAt = make([]float64, g.NumEdges())
 	}
 	readyAt := make([]float64, n) // max(msg deliveries, prev finish)
 	deliver := func(ei int, now float64) {
@@ -146,6 +164,9 @@ func RunContended(s *schedule.Schedule, net Network) (*Result, error) {
 		}
 		res.Start[t] = start
 		res.Finish[t] = start + g.Comp(t)
+		if sink != nil {
+			sink.TaskStart(obs.TaskEvent{Task: t, Proc: int(s.Proc(t)), Start: start, Finish: res.Finish[t]})
+		}
 		heap.Push(&ev, event{time: res.Finish[t], kind: 0, id: t})
 	}
 	for t := 0; t < n; t++ {
@@ -160,6 +181,9 @@ func RunContended(s *schedule.Schedule, net Network) (*Result, error) {
 			res.Utilization[s.Proc(t)] += g.Comp(t)
 			if res.Finish[t] > res.Makespan {
 				res.Makespan = res.Finish[t]
+			}
+			if sink != nil {
+				sink.TaskFinish(obs.TaskEvent{Task: t, Proc: int(s.Proc(t)), Start: res.Start[t], Finish: res.Finish[t]})
 			}
 			// Send messages FCFS; local messages deliver instantly.
 			for _, ei := range g.SuccEdges(t) {
@@ -176,6 +200,14 @@ func RunContended(s *schedule.Schedule, net Network) (*Result, error) {
 				}
 				cost := sys.CommCost(edge.Comm, s.Proc(edge.From), s.Proc(edge.To))
 				resourceFree[r] = begin + cost
+				if sink != nil {
+					sendAt[ei] = begin
+					sink.MessageSend(obs.Message{
+						Edge: ei, From: edge.From, To: edge.To,
+						FromProc: int(s.Proc(edge.From)), ToProc: int(s.Proc(edge.To)),
+						Send: begin, Arrive: begin + cost,
+					})
+				}
 				heap.Push(&ev, event{time: begin + cost, kind: 1, id: ei})
 			}
 			if nt := nextOnProc[t]; nt >= 0 {
@@ -186,6 +218,14 @@ func RunContended(s *schedule.Schedule, net Network) (*Result, error) {
 				tryStart(nt, e.time)
 			}
 		} else { // message delivered
+			if sink != nil {
+				edge := g.Edge(e.id)
+				sink.MessageArrive(obs.Message{
+					Edge: e.id, From: edge.From, To: edge.To,
+					FromProc: int(s.Proc(edge.From)), ToProc: int(s.Proc(edge.To)),
+					Send: sendAt[e.id], Arrive: e.time,
+				})
+			}
 			deliver(e.id, e.time)
 			tryStart(g.Edge(e.id).To, e.time)
 		}
@@ -197,6 +237,9 @@ func RunContended(s *schedule.Schedule, net Network) (*Result, error) {
 		for p := range res.Utilization {
 			res.Utilization[p] /= res.Makespan
 		}
+	}
+	if sink != nil {
+		sink.End(obs.End{Kind: obs.KindSimContended, Makespan: res.Makespan})
 	}
 	return res, nil
 }

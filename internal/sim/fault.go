@@ -5,9 +5,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"flb/internal/fault"
 	"flb/internal/machine"
+	"flb/internal/obs"
 	"flb/internal/schedule"
 )
 
@@ -87,8 +89,9 @@ type faultRun struct {
 	rTries     []int     // retransmissions charged when the task executed
 	rDelay     []float64 // retry delay charged when the task executed
 
-	res *FaultResult
-	req fault.Request
+	res  *FaultResult
+	req  fault.Request
+	sink obs.Sink
 }
 
 // RunFaulty executes schedule s like Run while injecting the failures
@@ -106,6 +109,18 @@ type faultRun struct {
 // the result embeds a Result bit-identical to Run with the same
 // perturbations. An error is returned if every processor crashes.
 func RunFaulty(s *schedule.Schedule, plan fault.Plan, perturbComp, perturbComm Perturb, lossSeed int64, choose RepairChooser) (*FaultResult, error) {
+	return RunFaultyObserved(s, plan, perturbComp, perturbComm, lossSeed, choose, nil)
+}
+
+// RunFaultyObserved is RunFaulty with an observer: sink, when non-nil,
+// receives the execution timeline (task spans, charged message fetches
+// with obs.MessageRetry markers on lossy edges), obs.CrashEvent /
+// obs.RepairEvent pairs per applied failure, bracketed by
+// obs.KindSimFaulty Begin/End events. Revoked-and-recomputed tasks appear
+// once per execution. A nil sink adds nothing to RunFaulty's cost; note
+// that obs.RepairEvent.WallNanos is wall-clock and therefore the one
+// nondeterministic value in the stream.
+func RunFaultyObserved(s *schedule.Schedule, plan fault.Plan, perturbComp, perturbComm Perturb, lossSeed int64, choose RepairChooser, sink obs.Sink) (*FaultResult, error) {
 	if !s.Complete() {
 		return nil, fmt.Errorf("sim: schedule is incomplete")
 	}
@@ -129,7 +144,10 @@ func RunFaulty(s *schedule.Schedule, plan fault.Plan, perturbComp, perturbComm P
 	}
 	n := g.NumTasks()
 
-	fr := &faultRun{s: s, sys: sys}
+	fr := &faultRun{s: s, sys: sys, sink: sink}
+	if sink != nil {
+		sink.Begin(obs.Begin{Kind: obs.KindSimFaulty, Tasks: n, Procs: sys.P})
+	}
 
 	// Actual costs, drawn once per task/edge in the same order as Run.
 	fr.comp = make([]float64, n)
@@ -222,6 +240,9 @@ func RunFaulty(s *schedule.Schedule, plan fault.Plan, perturbComp, perturbComm P
 		fr.alive[c.Proc] = false
 		fr.aliveN--
 		fr.res.Crashes++
+		if sink != nil {
+			sink.Crash(obs.CrashEvent{Proc: c.Proc, Time: c.Time})
+		}
 		if fr.aliveN == 0 {
 			return nil, fmt.Errorf("sim: all %d processors crashed by time %v", sys.P, c.Time)
 		}
@@ -250,6 +271,9 @@ func RunFaulty(s *schedule.Schedule, plan fault.Plan, perturbComp, perturbComm P
 	}
 	res.Proc = append([]machine.Proc(nil), fr.curProc...)
 	res.Survivors = fr.aliveN
+	if sink != nil {
+		sink.End(obs.End{Kind: obs.KindSimFaulty, Makespan: res.Makespan})
+	}
 	return res, nil
 }
 
@@ -326,6 +350,9 @@ func (fr *faultRun) runEpoch(horizon float64) {
 		fr.rTries[t], fr.rDelay[t] = tries, delay
 		fr.res.Retries += tries
 		fr.res.RetryDelay += delay
+		if fr.sink != nil {
+			fr.emitTask(t, p)
+		}
 		for _, ei := range g.SuccEdges(t) {
 			to := g.Edge(ei).To
 			fr.pendingCnt[to]--
@@ -348,6 +375,42 @@ func (fr *faultRun) runEpoch(horizon float64) {
 		}
 	}
 	fr.order = fr.order[:k]
+}
+
+// emitTask publishes t's execution span and its charged message fetches:
+// every fetch paying a communication cost (cross-processor or served by
+// the checkpoint store), with retry markers on lossy edges. The span is
+// published before its arrivals so timeline exporters can bind flow ends
+// to the consumer's slice.
+func (fr *faultRun) emitTask(t int, p machine.Proc) {
+	g := fr.s.Graph()
+	span := obs.TaskEvent{Task: t, Proc: int(p), Start: fr.res.Start[t], Finish: fr.res.Finish[t]}
+	fr.sink.TaskStart(span)
+	for _, ei := range g.PredEdges(t) {
+		e := g.Edge(ei)
+		fp := fr.curProc[e.From]
+		send := fr.res.Finish[e.From]
+		var arrive float64
+		if !fr.alive[fp] {
+			arrive = send + fr.sys.RemoteCost(fr.commw[ei]) + fr.extra[ei]
+		} else if fp != p {
+			arrive = send + fr.sys.CommCost(fr.commw[ei], fp, p) + fr.extra[ei]
+		} else {
+			continue
+		}
+		m := obs.Message{
+			Edge: ei, From: e.From, To: t,
+			FromProc: int(fp), ToProc: int(p),
+			Send: send, Arrive: arrive,
+			Retries: fr.tries[ei], RetryDelay: fr.extra[ei],
+		}
+		fr.sink.MessageSend(m)
+		fr.sink.MessageArrive(m)
+		if fr.tries[ei] > 0 {
+			fr.sink.MessageRetry(m)
+		}
+	}
+	fr.sink.TaskFinish(span)
 }
 
 // revoke undoes t's execution: the crash destroyed its result before any
@@ -445,8 +508,20 @@ func (fr *faultRun) repair(c fault.Crash, choose RepairChooser) error {
 	if rp == nil {
 		return fmt.Errorf("sim: repair chooser returned no repairer")
 	}
+	var began time.Time
+	if fr.sink != nil {
+		began = time.Now()
+	}
 	if err := rp.Repair(&fr.req); err != nil {
 		return fmt.Errorf("sim: repair after crash of processor %d at %v: %w", c.Proc, c.Time, err)
+	}
+	if fr.sink != nil {
+		fr.sink.Repair(obs.RepairEvent{
+			Proc:      c.Proc,
+			Time:      c.Time,
+			Pending:   len(fr.order),
+			WallNanos: time.Since(began).Nanoseconds(),
+		})
 	}
 	if len(fr.req.Seq) != len(fr.order) {
 		return fmt.Errorf("sim: repairer assigned %d of %d pending tasks", len(fr.req.Seq), len(fr.order))

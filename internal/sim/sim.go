@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"flb/internal/obs"
 	"flb/internal/schedule"
 )
 
@@ -104,6 +105,15 @@ type Result struct {
 // linear extension of the precedence order (guaranteed by the list
 // schedulers; validated here, returning an error otherwise).
 func Run(s *schedule.Schedule, perturbComp, perturbComm Perturb) (*Result, error) {
+	return RunObserved(s, perturbComp, perturbComm, nil)
+}
+
+// RunObserved is Run with an observer: sink, when non-nil, receives the
+// execution timeline (obs.TaskStart/obs.TaskFinish per task, an
+// obs.MessageSend/obs.MessageArrive pair per inter-processor message)
+// bracketed by obs.KindSim Begin/End events. A nil sink adds nothing to
+// Run's cost.
+func RunObserved(s *schedule.Schedule, perturbComp, perturbComm Perturb, sink obs.Sink) (*Result, error) {
 	if !s.Complete() {
 		return nil, fmt.Errorf("sim: schedule is incomplete")
 	}
@@ -155,6 +165,9 @@ func Run(s *schedule.Schedule, perturbComp, perturbComm Perturb) (*Result, error
 		}
 	}
 
+	if sink != nil {
+		sink.Begin(obs.Begin{Kind: obs.KindSim, Tasks: n, Procs: sys.P})
+	}
 	res := &Result{
 		Start:       make([]float64, n),
 		Finish:      make([]float64, n),
@@ -191,6 +204,25 @@ func Run(s *schedule.Schedule, perturbComp, perturbComm Perturb) (*Result, error
 			res.Makespan = res.Finish[t]
 		}
 		res.Utilization[s.Proc(t)] += comp[t]
+		if sink != nil {
+			span := obs.TaskEvent{Task: t, Proc: int(s.Proc(t)), Start: start, Finish: res.Finish[t]}
+			sink.TaskStart(span)
+			for _, ei := range g.PredEdges(t) {
+				e := g.Edge(ei)
+				if s.Proc(e.From) == s.Proc(t) {
+					continue
+				}
+				send := res.Finish[e.From]
+				m := obs.Message{
+					Edge: ei, From: e.From, To: t,
+					FromProc: int(s.Proc(e.From)), ToProc: int(s.Proc(t)),
+					Send: send, Arrive: send + sys.CommCost(comm[ei], s.Proc(e.From), s.Proc(t)),
+				}
+				sink.MessageSend(m)
+				sink.MessageArrive(m)
+			}
+			sink.TaskFinish(span)
+		}
 		// Release dependents: precedence successors and the next task in
 		// the processor chain.
 		for _, ei := range g.SuccEdges(t) {
@@ -214,6 +246,9 @@ func Run(s *schedule.Schedule, perturbComp, perturbComm Perturb) (*Result, error
 		for p := range res.Utilization {
 			res.Utilization[p] /= res.Makespan
 		}
+	}
+	if sink != nil {
+		sink.End(obs.End{Kind: obs.KindSim, Makespan: res.Makespan})
 	}
 	return res, nil
 }

@@ -1,0 +1,235 @@
+package flb
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"time"
+
+	"flb/internal/core"
+	"flb/internal/fault"
+	"flb/internal/machine"
+	"flb/internal/obs"
+	"flb/internal/sim"
+)
+
+// Observability surface, re-exported from internal/obs so users never
+// import internal packages. An Observer receives the typed event stream
+// of scheduling and execution runs; see the Sink contract in
+// internal/obs for the overhead discipline (a nil observer costs one
+// branch per event site and zero allocations).
+type (
+	// Observer consumes scheduling/execution events; implementations
+	// should embed NopObserver to stay compatible as events are added.
+	Observer = obs.Sink
+	// NopObserver ignores every event; embed it in partial observers.
+	NopObserver = obs.NopSink
+	// Recorder stores every event in reusable in-memory arenas, in
+	// deterministic emission order.
+	Recorder = obs.Recorder
+	// ChromeTrace streams events as Chrome Trace Event JSON (load the
+	// output in chrome://tracing or ui.perfetto.dev).
+	ChromeTrace = obs.ChromeTrace
+	// Telemetry aggregates events into counters and histograms.
+	Telemetry = obs.Metrics
+	// StepRecorder reconstructs the paper's Table 1 Steps from the
+	// scheduler's event stream.
+	StepRecorder = core.StepRecorder
+)
+
+// NewRecorder returns an empty in-memory event recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NewChromeTrace returns an observer streaming Chrome Trace Event JSON to
+// w. Close it after the observed runs to terminate the document.
+func NewChromeTrace(w io.Writer) *ChromeTrace { return obs.NewChromeTrace(w) }
+
+// NewTelemetry returns an empty aggregating observer.
+func NewTelemetry() *Telemetry { return obs.NewMetrics() }
+
+// NewStepRecorder returns an observer appending one Step per scheduling
+// decision to *steps — the event-stream implementation of Trace.
+func NewStepRecorder(steps *[]Step) *StepRecorder { return core.NewStepRecorder(steps) }
+
+// TeeObservers fans the event stream out to a then b; nil arguments are
+// dropped.
+func TeeObservers(a, b Observer) Observer { return obs.Tee(a, b) }
+
+// Options collects the knobs of Run, RunOn and Execute. The zero value —
+// the FLB algorithm, seed 1, exact costs, no faults, no observer — is
+// what a bare Run(g, p) uses. Construct it implicitly through Option
+// values; it has no exported fields so knobs can grow without breaking
+// callers.
+type Options struct {
+	algorithm string
+	seed      int64
+	hasSeed   bool
+	epsComp   float64
+	epsComm   float64
+	plan      FaultPlan
+	faulty    bool
+	observer  Observer
+	ctx       context.Context
+}
+
+// Option configures one knob; pass any number to Run, RunOn or Execute.
+type Option func(*Options)
+
+// DefaultSeed is the seed Run, RunOn and Execute use when WithSeed is not
+// given (it matches the flbsched default).
+const DefaultSeed int64 = 1
+
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	if !o.hasSeed {
+		o.seed = DefaultSeed
+	}
+	return o
+}
+
+// WithAlgorithm selects the scheduling algorithm by registry name
+// (case-insensitive; see Algorithms). The default is the paper's FLB.
+// Decision events (SchedStep, TaskReady, TaskDemoted) are emitted only by
+// FLB; other algorithms schedule unobserved.
+func WithAlgorithm(name string) Option {
+	return func(o *Options) { o.algorithm = name }
+}
+
+// WithSeed sets the seed driving every randomized component: jitter
+// streams (independently derived per stream) and randomized tie-breaking
+// in algorithms that use it. The default is DefaultSeed.
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.seed, o.hasSeed = seed, true }
+}
+
+// WithJitter makes Execute perturb actual costs: computation by a uniform
+// factor in [1-epsComp, 1+epsComp], communication likewise with epsComm.
+// A zero epsilon leaves that stream exact and undrawn, so enabling one
+// never shifts the other's sequence. The default is exact costs.
+func WithJitter(epsComp, epsComm float64) Option {
+	return func(o *Options) { o.epsComp, o.epsComm = epsComp, epsComm }
+}
+
+// WithFaults makes Execute inject the failures described by plan:
+// fail-stop crashes, lossy messages, and the plan's repair strategy after
+// every crash. A zero plan still takes the fault-capable engine, which is
+// bit-identical to the fault-free one.
+func WithFaults(plan FaultPlan) Option {
+	return func(o *Options) { o.plan, o.faulty = plan, true }
+}
+
+// WithObserver streams the run's events into s: scheduler decisions from
+// Run/RunOn (FLB only), the execution timeline, messages, crashes and
+// repairs from Execute. A nil observer disables observability — the
+// zero-overhead default.
+func WithObserver(s Observer) Option {
+	return func(o *Options) { o.observer = s }
+}
+
+// WithContext gives Execute a cancellation and deadline budget: while ctx
+// has room crashes are repaired with the full FLB reschedule; once the
+// deadline passed — or the time left is under four times the previous FLB
+// repair's cost — remaining crashes degrade to the cheap migrate-in-place
+// repair. A canceled context aborts the run; a plain exceeded deadline
+// does not. The plan's Repair mode is ignored when a context is set.
+func WithContext(ctx context.Context) Option {
+	return func(o *Options) { o.ctx = ctx }
+}
+
+// Run schedules g on p processors (the paper's clique model), by default
+// with FLB. Options select the algorithm and seed and attach an observer:
+//
+//	s, err := flb.Run(g, 4, flb.WithAlgorithm("mcp"), flb.WithSeed(7))
+func Run(g *Graph, p int, opts ...Option) (*Schedule, error) {
+	return RunOn(g, machine.NewSystem(p), opts...)
+}
+
+// RunOn is Run on an explicit system (e.g. a custom communication model).
+func RunOn(g *Graph, sys System, opts ...Option) (*Schedule, error) {
+	o := buildOptions(opts)
+	if o.algorithm == "" || strings.EqualFold(o.algorithm, "flb") {
+		return core.FLB{Sink: o.observer}.Schedule(g, sys)
+	}
+	a, err := NewAlgorithm(o.algorithm, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	return a.Schedule(g, sys)
+}
+
+// ExecResult is the outcome of an Execute run. The fault bookkeeping
+// (Crashes, Reschedules, Retries, ...) stays zero on fault-free runs.
+type ExecResult = sim.FaultResult
+
+// Execute runs schedule s self-timed: placement and per-processor order
+// as scheduled, start times driven by actual completions and message
+// arrivals. Options perturb the costs (WithJitter), inject failures
+// (WithFaults), bound repair work (WithContext) and attach an observer
+// (WithObserver):
+//
+//	r, err := flb.Execute(s, flb.WithJitter(0.3, 0.3), flb.WithSeed(7))
+//
+// Without jitter and faults it reproduces the schedule's own start times
+// exactly. The run is deterministic in (s, options); only wall-clock
+// observations (WithContext decisions, RepairEvent.WallNanos) vary.
+func Execute(s *Schedule, opts ...Option) (*ExecResult, error) {
+	o := buildOptions(opts)
+	pc := jitterStream(o.seed, sim.StreamComp, o.epsComp)
+	pm := jitterStream(o.seed, sim.StreamComm, o.epsComm)
+	if !o.faulty && o.ctx == nil {
+		r, err := sim.RunObserved(s, pc, pm, o.observer)
+		if err != nil {
+			return nil, err
+		}
+		er := &ExecResult{Result: *r, Survivors: s.System().P}
+		er.Proc = make([]machine.Proc, s.Graph().NumTasks())
+		for t := range er.Proc {
+			er.Proc[t] = s.Proc(t)
+		}
+		return er, nil
+	}
+	var choose sim.RepairChooser
+	if o.ctx != nil {
+		var err error
+		if choose, err = deadlineChooser(o.ctx); err != nil {
+			return nil, err
+		}
+	} else {
+		choose = fixedChooser(o.plan.Repair)
+	}
+	return sim.RunFaultyObserved(s, o.plan, pc, pm,
+		sim.DeriveSeed(o.seed, sim.StreamLoss), choose, o.observer)
+}
+
+// deadlineChooser builds the graceful-degradation chooser of WithContext
+// (and the deprecated RunContext): full FLB reschedules while the
+// deadline has room, migrate-in-place after.
+func deadlineChooser(ctx context.Context) (sim.RepairChooser, error) {
+	// An expired deadline is not an abort: it means every repair degrades
+	// to migrate. Only cancellation stops the run.
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	re := core.NewRescheduler()
+	var mig fault.MigrateRepairer
+	var lastRepair time.Duration
+	deadline, hasDeadline := ctx.Deadline()
+	return func(fault.Crash, int) (fault.Repairer, error) {
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		if hasDeadline {
+			remaining := time.Until(deadline)
+			if remaining <= 0 || (lastRepair > 0 && remaining < 4*lastRepair) {
+				return &mig, nil
+			}
+		}
+		return timedRepairer{re, &lastRepair}, nil
+	}, nil
+}

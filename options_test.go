@@ -1,0 +1,254 @@
+package flb_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"flb"
+)
+
+// sameSchedule compares two schedules placement by placement.
+func sameSchedule(t *testing.T, a, b *flb.Schedule) {
+	t.Helper()
+	if a.Makespan() != b.Makespan() {
+		t.Fatalf("makespans differ: %v vs %v", a.Makespan(), b.Makespan())
+	}
+	for tk := 0; tk < a.Graph().NumTasks(); tk++ {
+		if a.Proc(tk) != b.Proc(tk) || a.Start(tk) != b.Start(tk) || a.Finish(tk) != b.Finish(tk) {
+			t.Fatalf("task %d: (%d,%g,%g) vs (%d,%g,%g)", tk,
+				a.Proc(tk), a.Start(tk), a.Finish(tk), b.Proc(tk), b.Start(tk), b.Finish(tk))
+		}
+	}
+}
+
+// TestDeprecatedWrappersBitIdentical is the API-redesign acceptance
+// check: every deprecated positional entry point must produce results bit
+// for bit identical to its Options-based replacement.
+func TestDeprecatedWrappersBitIdentical(t *testing.T) {
+	g := flb.PaperExample()
+
+	// RunWith(name, ...) ≡ Run(WithAlgorithm, WithSeed).
+	for _, name := range flb.Algorithms() {
+		old, err := flb.RunWith(name, g, 2, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		now, err := flb.Run(g, 2, flb.WithAlgorithm(name), flb.WithSeed(7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameSchedule(t, old, now)
+	}
+
+	// Trace ≡ Run(WithObserver(NewStepRecorder)).
+	oldSteps, oldSched, err := flb.Trace(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []flb.Step
+	newSched, err := flb.Run(g, 2, flb.WithObserver(flb.NewStepRecorder(&steps)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldSteps, steps) {
+		t.Errorf("Trace steps diverge:\n%+v\n%+v", oldSteps, steps)
+	}
+	sameSchedule(t, oldSched, newSched)
+
+	s, err := flb.Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate ≡ Execute(WithJitter, WithSeed).Result.
+	for _, eps := range []float64{0, 0.3} {
+		old, err := flb.Simulate(s, eps, eps, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := flb.Execute(s, flb.WithJitter(eps, eps), flb.WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*old, er.Result) {
+			t.Errorf("eps=%g: Simulate result diverges:\n%+v\n%+v", eps, *old, er.Result)
+		}
+	}
+
+	// SimulateFaulty ≡ Execute(WithFaults, WithJitter, WithSeed).
+	plan := flb.FaultPlan{
+		Crashes: []flb.Crash{{Proc: 1, Time: 5}},
+		Repair:  flb.RepairReschedule,
+	}
+	oldF, err := flb.SimulateFaulty(s, plan, 0.2, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF, err := flb.Execute(s, flb.WithFaults(plan), flb.WithJitter(0.2, 0.2), flb.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldF, newF) {
+		t.Errorf("SimulateFaulty result diverges:\n%+v\n%+v", oldF, newF)
+	}
+
+	// RunContext ≡ Execute(WithContext, ...). With a generous deadline
+	// every repair takes the full-reschedule branch on both sides, so the
+	// simulated results agree despite the wall-clock chooser.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	oldC, err := flb.RunContext(ctx, s, plan, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newC, err := flb.Execute(s, flb.WithContext(ctx), flb.WithFaults(plan), flb.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldC, newC) {
+		t.Errorf("RunContext result diverges:\n%+v\n%+v", oldC, newC)
+	}
+}
+
+// TestExecuteFaultFreeMatchesFaulty: the zero-value fault plan takes the
+// fault-capable engine yet reproduces the fault-free path bit for bit, so
+// WithFaults(zero) is safe to compose unconditionally.
+func TestExecuteFaultFreeMatchesFaulty(t *testing.T) {
+	s, err := flb.Run(flb.PaperExample(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := flb.Execute(s, flb.WithJitter(0.3, 0.3), flb.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := flb.Execute(s, flb.WithFaults(flb.FaultPlan{}), flb.WithJitter(0.3, 0.3), flb.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(free.Result, faulty.Result) {
+		t.Errorf("engines diverge:\n%+v\n%+v", free.Result, faulty.Result)
+	}
+	if !reflect.DeepEqual(free.Proc, faulty.Proc) {
+		t.Errorf("placements diverge: %v vs %v", free.Proc, faulty.Proc)
+	}
+}
+
+// TestWithObserverEndToEnd drives a recorder and telemetry through the
+// public API: schedule events from Run, execution and fault events from
+// Execute.
+func TestWithObserverEndToEnd(t *testing.T) {
+	g := flb.PaperExample()
+	rec := flb.NewRecorder()
+	tel := flb.NewTelemetry()
+	s, err := flb.Run(g, 2, flb.WithObserver(flb.TeeObservers(rec, tel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Steps()); got != g.NumTasks() {
+		t.Errorf("recorded %d decisions, want %d", got, g.NumTasks())
+	}
+	if tel.Steps != g.NumTasks() {
+		t.Errorf("telemetry saw %d decisions, want %d", tel.Steps, g.NumTasks())
+	}
+
+	plan := flb.FaultPlan{Crashes: []flb.Crash{{Proc: 1, Time: 5}}, Repair: flb.RepairReschedule}
+	if _, err := flb.Execute(s, flb.WithFaults(plan), flb.WithObserver(flb.TeeObservers(rec, tel))); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Crashes()); got != 1 {
+		t.Errorf("recorded %d crashes, want 1", got)
+	}
+	if tel.Crashes != 1 || tel.Repairs != 1 {
+		t.Errorf("telemetry crashes=%d repairs=%d, want 1/1", tel.Crashes, tel.Repairs)
+	}
+	if tel.TasksRun != g.NumTasks() {
+		t.Errorf("telemetry executed %d tasks, want %d", tel.TasksRun, g.NumTasks())
+	}
+	if tel.Utilization() <= 0 || tel.Utilization() > 1 {
+		t.Errorf("utilization = %g", tel.Utilization())
+	}
+
+	// WithObserver(nil) and no observer are both the zero-overhead path.
+	if _, err := flb.Run(g, 2, flb.WithObserver(nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChromeTraceThroughAPI checks the public wiring: schedule + execute
+// into one ChromeTrace yields a valid, non-trivial JSON document.
+func TestChromeTraceThroughAPI(t *testing.T) {
+	g := flb.PaperExample()
+	var buf bytes.Buffer
+	ct := flb.NewChromeTrace(&buf)
+	ct.TaskNames = func(id int) string { return g.Task(id).Name }
+	s, err := flb.Run(g, 2, flb.WithObserver(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flb.Execute(s, flb.WithObserver(ct)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	slices := 0
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "X" {
+			slices++
+		}
+	}
+	if slices != g.NumTasks() {
+		t.Errorf("%d task slices, want %d", slices, g.NumTasks())
+	}
+}
+
+// TestWithSeedDefault: omitting WithSeed must match WithSeed(DefaultSeed).
+func TestWithSeedDefault(t *testing.T) {
+	s, err := flb.Run(flb.PaperExample(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := flb.Execute(s, flb.WithJitter(0.3, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := flb.Execute(s, flb.WithJitter(0.3, 0.3), flb.WithSeed(flb.DefaultSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("default seed diverges from WithSeed(DefaultSeed)")
+	}
+}
+
+// TestRunOnWithObserver: the explicit-system entry point honors options
+// too, including the FLB name spelled with different casing.
+func TestRunOnWithObserver(t *testing.T) {
+	g := flb.PaperExample()
+	sys := flb.NewSystem(2)
+	var steps []flb.Step
+	s, err := flb.RunOn(g, sys, flb.WithAlgorithm("FLB"), flb.WithObserver(flb.NewStepRecorder(&steps)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != g.NumTasks() {
+		t.Errorf("recorded %d steps, want %d", len(steps), g.NumTasks())
+	}
+	if s.Makespan() != 14 {
+		t.Errorf("makespan = %g", s.Makespan())
+	}
+	if _, err := flb.RunOn(g, sys, flb.WithAlgorithm("bogus")); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
