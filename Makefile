@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all lint fmt vet flblint build test race fuzz bench trace clean
+.PHONY: all lint fmt vet flblint build test race fuzz bench throughput trace clean
 
 all: lint build test
 
@@ -37,6 +37,10 @@ fuzz:
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig2|Scaling' -benchmem .
+
+# Batch scheduling throughput (jobs/sec) across worker-pool sizes.
+throughput:
+	$(GO) run ./cmd/flbbench -exp throughput -quick
 
 # Chrome Trace Event JSON of one observed Fig. 2 run (quick config);
 # open trace.json in chrome://tracing or ui.perfetto.dev.

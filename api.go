@@ -205,13 +205,16 @@ func SimulateFaulty(s *Schedule, plan FaultPlan, epsComp, epsComm float64, seed 
 }
 
 // fixedChooser returns the chooser applying one repair strategy to every
-// crash, with the arenas shared across repairs.
-func fixedChooser(m RepairMode) sim.RepairChooser {
+// crash, with the arenas shared across repairs. A nil re builds a private
+// reschedule arena; batch callers pass their worker's.
+func fixedChooser(m RepairMode, re *core.Rescheduler) sim.RepairChooser {
 	if m == fault.ModeMigrate {
 		mr := &fault.MigrateRepairer{}
 		return func(fault.Crash, int) (fault.Repairer, error) { return mr, nil }
 	}
-	re := core.NewRescheduler()
+	if re == nil {
+		re = core.NewRescheduler()
+	}
 	return func(fault.Crash, int) (fault.Repairer, error) { return re, nil }
 }
 

@@ -1,0 +1,142 @@
+package flb
+
+import (
+	"strings"
+
+	"flb/internal/machine"
+	"flb/internal/obs"
+	"flb/internal/par"
+)
+
+// RunBatch schedules every graph in graphs on p processors, fanning the
+// jobs out over a worker pool (WithWorkers; GOMAXPROCS workers by
+// default). Each worker owns its own reusable scheduling arenas, so no
+// mutable state is shared across jobs; result i is byte-identical to what
+// the serial loop
+//
+//	for i, g := range graphs { out[i], err = flb.Run(g, p, opts...) }
+//
+// would produce, regardless of the worker count or how jobs interleave.
+// Graphs may repeat across slots only if frozen (Graph.Freeze); distinct
+// unfrozen graphs are fine because each is read by exactly one job.
+//
+// An observer set with WithObserver receives the events of all jobs in
+// job-index order — exactly the serial loop's stream — never concurrently
+// (see the batch contract in internal/obs). If any job fails, RunBatch
+// returns the error of the lowest failing job index and the observer
+// receives no events.
+func RunBatch(graphs []*Graph, p int, opts ...Option) ([]*Schedule, error) {
+	return RunBatchOn(graphs, machine.NewSystem(p), opts...)
+}
+
+// RunBatchOn is RunBatch on an explicit system.
+func RunBatchOn(graphs []*Graph, sys System, opts ...Option) ([]*Schedule, error) {
+	o := buildOptions(opts)
+	eng := par.New(o.workers)
+	out := make([]*Schedule, len(graphs))
+	flbPath := o.algorithm == "" || strings.EqualFold(o.algorithm, "flb")
+	tee := newSinkTee(o.observer, eng.Workers(), len(graphs))
+	err := eng.Each(len(graphs), func(w *par.Worker, i int) error {
+		if flbPath {
+			sc := w.Scheduler()
+			sc.Observe(tee.sink(i))
+			s, err := sc.Schedule(graphs[i], sys)
+			if err != nil {
+				return err
+			}
+			// The arena's schedule is only valid until the worker's next
+			// job; the slot keeps its own copy.
+			out[i] = s.Clone()
+			return nil
+		}
+		a, err := w.Algorithm(o.algorithm, o.seed)
+		if err != nil {
+			return err
+		}
+		s, err := a.Schedule(graphs[i], sys)
+		if err != nil {
+			return err
+		}
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tee.flush()
+	return out, nil
+}
+
+// ExecuteBatch executes every schedule in scheds self-timed, fanning the
+// jobs out over a worker pool (WithWorkers) with per-worker repair
+// arenas. Result i is byte-identical to the serial loop
+//
+//	for i, s := range scheds { out[i], err = flb.Execute(s, opts...) }
+//
+// for any worker count — jitter, faults and context-budgeted repair
+// included (only wall-clock observations such as RepairEvent.WallNanos
+// vary, exactly as in Execute). The observer contract matches RunBatch:
+// all events arrive in job-index order, never concurrently, and a failed
+// batch emits none.
+func ExecuteBatch(scheds []*Schedule, opts ...Option) ([]*ExecResult, error) {
+	o := buildOptions(opts)
+	eng := par.New(o.workers)
+	out := make([]*ExecResult, len(scheds))
+	tee := newSinkTee(o.observer, eng.Workers(), len(scheds))
+	err := eng.Each(len(scheds), func(w *par.Worker, i int) error {
+		r, err := executeOne(scheds[i], &o, tee.sink(i), w.Rescheduler())
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tee.flush()
+	return out, nil
+}
+
+// sinkTee implements the deterministic sink-sharing contract of the batch
+// APIs: the user's observer is single-goroutine by contract, so with more
+// than one worker each job records its events into a private per-slot
+// Recorder and flush replays the recorders in job-index order — the byte
+// stream of the serial loop. With one worker (or no observer) jobs drive
+// the user's sink directly and nothing is buffered.
+type sinkTee struct {
+	user Observer
+	recs []*obs.Recorder
+}
+
+func newSinkTee(user Observer, workers, n int) *sinkTee {
+	t := &sinkTee{user: user}
+	if user != nil && workers > 1 {
+		t.recs = make([]*obs.Recorder, n)
+	}
+	return t
+}
+
+// sink returns the observer job i must emit into. Safe to call from
+// worker goroutines: each job touches only its own slot.
+func (t *sinkTee) sink(i int) Observer {
+	if t.user == nil || t.recs == nil {
+		return t.user
+	}
+	t.recs[i] = obs.NewRecorder()
+	return t.recs[i]
+}
+
+// flush replays the buffered per-job streams into the user's observer in
+// job-index order. Called once, after the batch, from the caller's
+// goroutine.
+func (t *sinkTee) flush() {
+	if t.user == nil || t.recs == nil {
+		return
+	}
+	for _, r := range t.recs {
+		if r != nil {
+			r.Replay(t.user)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package flb_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"flb"
+)
+
+// batchGraphs builds a small mixed workload matrix: several families and
+// seeds, frozen so batch workers may share them read-only.
+func batchGraphs(t testing.TB) []*flb.Graph {
+	t.Helper()
+	var gs []*flb.Graph
+	for _, fam := range []string{"lu", "laplace", "stencil"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			g, err := flb.WorkloadInstance(fam, 80, 1.0, nil, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Freeze()
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+func scheduleBytes(t testing.TB, s *flb.Schedule) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+var batchWorkerCounts = []int{1, 2, 8}
+
+// TestRunBatchMatchesSerial: for FLB and a registry algorithm, RunBatch
+// with 1, 2 and 8 workers is byte-identical (serialized JSON) to the
+// serial Run loop.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	gs := batchGraphs(t)
+	for _, alg := range []string{"flb", "mcp"} {
+		opts := []flb.Option{flb.WithAlgorithm(alg), flb.WithSeed(7)}
+		want := make([]string, len(gs))
+		for i, g := range gs {
+			s, err := flb.Run(g, 8, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = scheduleBytes(t, s)
+		}
+		for _, w := range batchWorkerCounts {
+			got, err := flb.RunBatch(gs, 8, append(opts[:len(opts):len(opts)], flb.WithWorkers(w))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(gs) {
+				t.Fatalf("%s workers=%d: %d results, want %d", alg, w, len(got), len(gs))
+			}
+			for i := range got {
+				if scheduleBytes(t, got[i]) != want[i] {
+					t.Errorf("%s workers=%d: schedule %d differs from serial", alg, w, i)
+				}
+			}
+		}
+	}
+}
+
+// executeOptionCases are the Execute configurations the batch engine must
+// reproduce: fault-free, jittered, faulty with both repair strategies,
+// and lossy messages.
+func executeOptionCases() []struct {
+	name string
+	opts []flb.Option
+} {
+	crash := []flb.Crash{{Proc: 2, Time: 5}}
+	return []struct {
+		name string
+		opts []flb.Option
+	}{
+		{"fault-free", []flb.Option{flb.WithSeed(3)}},
+		{"jittered", []flb.Option{flb.WithJitter(0.2, 0.2), flb.WithSeed(3)}},
+		{"crash-reschedule", []flb.Option{
+			flb.WithFaults(flb.FaultPlan{Crashes: crash, Repair: flb.RepairReschedule}),
+			flb.WithJitter(0.1, 0), flb.WithSeed(3),
+		}},
+		{"crash-migrate", []flb.Option{
+			flb.WithFaults(flb.FaultPlan{Crashes: crash, Repair: flb.RepairMigrate}),
+			flb.WithSeed(3),
+		}},
+		{"lossy", []flb.Option{
+			flb.WithFaults(flb.FaultPlan{
+				MsgLoss: 0.2,
+				Retry:   flb.RetryPolicy{Timeout: 1, MaxRetries: 3, Backoff: 2},
+			}),
+			flb.WithSeed(3),
+		}},
+	}
+}
+
+// TestExecuteBatchMatchesSerial: fault-free, jittered, faulty and lossy
+// executions through the batch engine reproduce the serial Execute loop
+// exactly for every worker count. Every FaultResult field is
+// deterministic, so DeepEqual is byte-level equivalence.
+func TestExecuteBatchMatchesSerial(t *testing.T) {
+	gs := batchGraphs(t)
+	scheds, err := flb.RunBatch(gs, 8, flb.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range executeOptionCases() {
+		want := make([]*flb.ExecResult, len(scheds))
+		for i, s := range scheds {
+			if want[i], err = flb.Execute(s, tc.opts...); err != nil {
+				t.Fatalf("%s: serial Execute: %v", tc.name, err)
+			}
+		}
+		for _, w := range batchWorkerCounts {
+			got, err := flb.ExecuteBatch(scheds, append(tc.opts[:len(tc.opts):len(tc.opts)], flb.WithWorkers(w))...)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, w, err)
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("%s workers=%d: result %d differs from serial", tc.name, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchObserverStream: the observer attached to a batch receives, for
+// every worker count, exactly the serial loop's event stream — all jobs in
+// job-index order, byte-identical through the deterministic ChromeTrace
+// exporter.
+func TestBatchObserverStream(t *testing.T) {
+	gs := batchGraphs(t)
+	trace := func(run func(obs flb.Observer) error) string {
+		var buf bytes.Buffer
+		ct := flb.NewChromeTrace(&buf)
+		if err := run(ct); err != nil {
+			t.Fatal(err)
+		}
+		if err := ct.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := trace(func(o flb.Observer) error {
+		for _, g := range gs {
+			s, err := flb.Run(g, 8, flb.WithObserver(o))
+			if err != nil {
+				return err
+			}
+			if _, err := flb.Execute(s, flb.WithObserver(o)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, w := range batchWorkerCounts {
+		got := trace(func(o flb.Observer) error {
+			scheds, err := flb.RunBatch(gs, 8, flb.WithObserver(o), flb.WithWorkers(w))
+			if err != nil {
+				return err
+			}
+			_, err = flb.ExecuteBatch(scheds, flb.WithObserver(o), flb.WithWorkers(w))
+			return err
+		})
+		if got != want {
+			t.Errorf("workers=%d: observer stream differs from serial loop", w)
+		}
+	}
+}
+
+// TestBatchErrorIsSerial: a failing job surfaces the same error the
+// serial loop would return (lowest index), and the observer stays silent.
+func TestBatchErrorIsSerial(t *testing.T) {
+	gs := batchGraphs(t)
+	rec := flb.NewRecorder()
+	_, err := flb.RunBatch(gs, 8,
+		flb.WithAlgorithm("no-such-algorithm"), flb.WithWorkers(4), flb.WithObserver(rec))
+	if err == nil {
+		t.Fatal("RunBatch accepted an unknown algorithm")
+	}
+	var wantErr error
+	if _, wantErr = flb.Run(gs[0], 8, flb.WithAlgorithm("no-such-algorithm")); wantErr == nil {
+		t.Fatal("Run accepted an unknown algorithm")
+	}
+	if err.Error() != wantErr.Error() {
+		t.Errorf("batch error %q, serial error %q", err, wantErr)
+	}
+	if rec.Len() != 0 {
+		t.Errorf("failed batch emitted %d events, want 0", rec.Len())
+	}
+}

@@ -10,6 +10,8 @@
 //	flbbench -exp fig2 -csv           # machine-readable output
 //	flbbench -exp all -quick -json    # one JSON document for all experiments
 //	flbbench -exp fig3 -v 1000 -seeds 3 -procs 2,4,8
+//	flbbench -exp fig2 -parallel 8    # fan the sweep over 8 workers (same numbers)
+//	flbbench -exp throughput -quick   # batch jobs/sec vs worker-pool size
 //	flbbench -exp fig2 -cpuprofile cpu.out -memprofile mem.out
 //	flbbench -exp fig2 -quick -trace trace.json   # Chrome Trace Event JSON
 package main
@@ -56,16 +58,16 @@ type jsonExperiment struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("flbbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, or all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, throughput, or all")
 		quick    = fs.Bool("quick", false, "scaled-down configuration (V≈200, 2 seeds)")
-		targetV  = fs.Int("v", 0, "override the approximate task count (default 2000)")
-		seeds    = fs.Int("seeds", 0, "override instances per (family, CCR) (default 5)")
+		targetV  = fs.Int("v", 0, "override the approximate task count (default 2000; 200 with -quick)")
+		seeds    = fs.Int("seeds", 0, "override instances per (family, CCR) (default 5; 2 with -quick, and -exp all trims heavy sweeps to 2)")
 		procsArg = fs.String("procs", "", "override processor counts, comma-separated (default 2,4,8,16,32)")
 		families = fs.String("families", "", "override families, comma-separated (default lu,laplace,stencil)")
 		seed     = fs.Int64("seed", 1, "base seed for instance generation and tie-breaking")
 		csvFlag  = fs.Bool("csv", false, "emit CSV instead of formatted tables")
 		jsonFlag = fs.Bool("json", false, "emit one JSON summary document instead of text")
-		par      = fs.Bool("parallel", false, "run quality experiments on all CPUs (identical results)")
+		par      = fs.Int("parallel", 0, "worker-pool size for the sweeps (0 = serial, negative = all CPUs); results are identical for every value")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 		traceOut = fs.String("trace", "", "write a Chrome Trace Event JSON of one representative run per experiment ('-' for stdout)")
@@ -95,7 +97,7 @@ func run(args []string, stdout io.Writer) error {
 		cfg = bench.Quick()
 	}
 	cfg.BaseSeed = *seed
-	cfg.Parallel = *par
+	cfg.Workers = *par
 	if *targetV > 0 {
 		cfg.TargetV = *targetV
 	}
@@ -305,6 +307,23 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if want("throughput") {
+		ran = true
+		tcfg := cfg
+		if *exp == "all" && !*quick {
+			// Throughput tiles the matrix into repeated timed batches; the
+			// quick matrix is plenty to saturate the pool and keeps "all" fast.
+			tcfg.TargetV = 500
+			tcfg.Seeds = 2
+		}
+		r, err := bench.Throughput(tcfg, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("throughput", "", r); err != nil {
+			return err
+		}
+	}
 	if want("scaling") {
 		ran = true
 		sizes := []int{250, 500, 1000, 2000}
@@ -322,7 +341,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, throughput, or all)", *exp)
 	}
 	if traceClose != nil {
 		if err := traceClose(); err != nil {

@@ -35,6 +35,47 @@ func TestFig2(t *testing.T) {
 	}
 }
 
+// TestFig2Parallel: -parallel N fans the sweep over a worker pool and
+// reports the same table structure; -parallel -1 resolves to all CPUs.
+func TestFig2Parallel(t *testing.T) {
+	for _, par := range []string{"8", "-1"} {
+		out, err := benchCLI(t, append([]string{"-exp", "fig2", "-parallel", par}, smoke...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "Fig. 2") || !strings.Contains(out, "P=4") {
+			t.Errorf("-parallel %s output:\n%s", par, out)
+		}
+	}
+}
+
+// TestFig4ParallelIdentical: quality results are byte-identical between
+// serial and pooled sweeps, end to end through the CLI.
+func TestFig4ParallelIdentical(t *testing.T) {
+	args := append([]string{"-exp", "fig4", "-csv"}, smoke...)
+	serial, err := benchCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := benchCLI(t, append(args, "-parallel", "8")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != pooled {
+		t.Errorf("-parallel 8 changed fig4 output:\n--- serial ---\n%s--- pooled ---\n%s", serial, pooled)
+	}
+}
+
+func TestThroughputExperiment(t *testing.T) {
+	out, err := benchCLI(t, append([]string{"-exp", "throughput"}, smoke...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Batch throughput") || !strings.Contains(out, "jobs/sec") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
 func TestFig2CSV(t *testing.T) {
 	out, err := benchCLI(t, append([]string{"-exp", "fig2", "-csv"}, smoke...)...)
 	if err != nil {

@@ -16,11 +16,13 @@ package bench
 
 import (
 	"fmt"
+	"math"
 
 	"flb/internal/algo"
 	"flb/internal/algo/registry"
 	"flb/internal/graph"
 	"flb/internal/obs"
+	"flb/internal/sim"
 	"flb/internal/workload"
 )
 
@@ -47,10 +49,17 @@ type Config struct {
 	Sampler workload.Sampler
 	// BaseSeed offsets every instance seed, keeping runs reproducible.
 	BaseSeed int64
-	// Parallel runs the quality experiments (Fig. 3, Fig. 4, robustness)
-	// on GOMAXPROCS workers. Results are identical to the sequential run;
-	// the timing experiments (Fig. 2, scaling) ignore it by design.
-	Parallel bool
+	// Workers is the batch-engine pool size fanning the sweeps'
+	// independent cells out: 0 (the default) runs serially, n > 1 uses a
+	// pool of n workers, negative selects GOMAXPROCS. Results are
+	// byte-identical for every value — the pool only changes wall-clock
+	// time. For the timing sweeps (Fig. 2, throughput) the *set* of timed
+	// work per cell is unchanged, but concurrent cells share the CPUs, so
+	// per-cell latency samples are noisier; run them serially when sample
+	// stability matters and parallel when total throughput does. The
+	// robustness sweep alone ignores Workers: its draws share one RNG
+	// sequence across instances, which no fan-out can reproduce.
+	Workers int
 	// Observer, when non-nil, receives the event stream of one
 	// representative observed run per experiment (schedule + execution on
 	// the first instance), emitted after the measured loops so
@@ -105,14 +114,44 @@ type instance struct {
 	g      *graph.Graph
 }
 
+// instanceSeed derives the workload seed of matrix cell (family, ccr, s)
+// by hashing the cell's coordinates (FNV-1a) into a sim.DeriveSeed
+// stream of BaseSeed. The seed depends only on the cell itself — never on
+// its position in the (family × CCR × seed) matrix — so editing Families,
+// CCRs or Seeds leaves every surviving cell's workload bit-identical, and
+// distinct cells cannot collide the way the old position-based formula
+// (BaseSeed + s + 1000·index) did whenever Seeds reached 1000.
+func (c Config) instanceSeed(family string, ccr float64, s int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte1a := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	word1a := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			byte1a(byte(x))
+			x >>= 8
+		}
+	}
+	for i := 0; i < len(family); i++ {
+		byte1a(family[i])
+	}
+	byte1a(0) // family/ccr separator: no string-boundary ambiguity
+	word1a(math.Float64bits(ccr))
+	word1a(uint64(s))
+	return sim.DeriveSeed(c.BaseSeed, h)
+}
+
 // instances generates the full (family × CCR × seed) matrix of cfg,
-// deterministic in cfg.BaseSeed.
+// deterministic in cfg.BaseSeed; each cell's workload is stable under
+// matrix edits (see instanceSeed).
 func (c Config) instances() ([]instance, error) {
 	var out []instance
 	for _, fam := range c.Families {
 		for _, ccr := range c.CCRs {
 			for s := 0; s < c.Seeds; s++ {
-				seed := c.BaseSeed + int64(s) + int64(1000*len(out))
+				seed := c.instanceSeed(fam, ccr, s)
 				g, err := workload.Instance(fam, c.TargetV, ccr, c.Sampler, seed)
 				if err != nil {
 					return nil, fmt.Errorf("bench: %w", err)

@@ -1,9 +1,15 @@
 package bench
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"flb/internal/algo/registry"
+	"flb/internal/par"
+	"flb/internal/workload"
 )
 
 // tiny returns a configuration small enough for unit tests.
@@ -17,20 +23,61 @@ func tiny() Config {
 	}.withDefaults()
 }
 
+// TestConfigDefaults pins every documented default of Default() and
+// Quick() so the godoc, the package doc and the code cannot drift apart:
+// Default is the paper's setup (V≈2000, CCR {0.2, 5.0}, P {2..32}, 5
+// seeds, lu/laplace/stencil, the five measured algorithms, serial);
+// Quick scales down exactly V, Seeds and Procs and changes nothing else.
 func TestConfigDefaults(t *testing.T) {
 	c := Default()
-	if c.TargetV != 2000 || c.Seeds != 5 {
-		t.Errorf("Default = %+v", c)
+	if c.TargetV != 2000 {
+		t.Errorf("Default TargetV = %d, want 2000", c.TargetV)
 	}
-	if len(c.Procs) != 5 || c.Procs[4] != 32 {
-		t.Errorf("Procs = %v", c.Procs)
+	if !reflect.DeepEqual(c.CCRs, []float64{0.2, 5.0}) {
+		t.Errorf("Default CCRs = %v, want [0.2 5]", c.CCRs)
 	}
-	if len(c.Algorithms) != 5 {
-		t.Errorf("Algorithms = %v", c.Algorithms)
+	if !reflect.DeepEqual(c.Procs, []int{2, 4, 8, 16, 32}) {
+		t.Errorf("Default Procs = %v, want [2 4 8 16 32]", c.Procs)
+	}
+	if c.Seeds != 5 {
+		t.Errorf("Default Seeds = %d, want 5", c.Seeds)
+	}
+	if !reflect.DeepEqual(c.Families, []string{"lu", "laplace", "stencil"}) {
+		t.Errorf("Default Families = %v", c.Families)
+	}
+	if !reflect.DeepEqual(c.Algorithms, registry.PaperNames()) || len(c.Algorithms) != 5 {
+		t.Errorf("Default Algorithms = %v, want the paper's five", c.Algorithms)
+	}
+	if _, ok := c.Sampler.(workload.Uniform02); !ok {
+		t.Errorf("Default Sampler = %T, want workload.Uniform02", c.Sampler)
+	}
+	if c.BaseSeed != 0 || c.Workers != 0 || c.Observer != nil {
+		t.Errorf("Default BaseSeed/Workers/Observer = %v/%v/%v, want zero values",
+			c.BaseSeed, c.Workers, c.Observer)
 	}
 	q := Quick()
 	if q.TargetV != 200 || q.Seeds != 2 {
-		t.Errorf("Quick = %+v", q)
+		t.Errorf("Quick V/Seeds = %d/%d, want 200/2", q.TargetV, q.Seeds)
+	}
+	if !reflect.DeepEqual(q.Procs, []int{2, 4, 8, 16}) {
+		t.Errorf("Quick Procs = %v, want [2 4 8 16]", q.Procs)
+	}
+	// Every other knob matches Default.
+	q.TargetV, q.Seeds, q.Procs = c.TargetV, c.Seeds, c.Procs
+	if !reflect.DeepEqual(q.CCRs, c.CCRs) || !reflect.DeepEqual(q.Families, c.Families) ||
+		!reflect.DeepEqual(q.Algorithms, c.Algorithms) {
+		t.Errorf("Quick diverges from Default beyond V/Seeds/Procs: %+v", q)
+	}
+	// The worker count resolves as documented: 0 serial, n as given,
+	// negative all CPUs.
+	if got := (Config{}).workerCount(); got != 1 {
+		t.Errorf("Workers=0 resolves to %d workers, want 1", got)
+	}
+	if got := (Config{Workers: 7}).workerCount(); got != 7 {
+		t.Errorf("Workers=7 resolves to %d", got)
+	}
+	if got := (Config{Workers: -1}).workerCount(); got < 1 {
+		t.Errorf("Workers=-1 resolves to %d, want >= 1", got)
 	}
 }
 
@@ -57,6 +104,73 @@ func TestInstancesMatrixAndDeterminism(t *testing.T) {
 	bad.Families = []string{"nope"}
 	if _, err := bad.instances(); err == nil {
 		t.Error("unknown family accepted")
+	}
+}
+
+// TestInstanceSeedsStableUnderMatrixEdits is the regression test for the
+// position-dependent seed bug: removing a family (or a CCR, or shrinking
+// Seeds) must leave every surviving instance's graph bit-identical,
+// because each cell's seed depends only on (BaseSeed, family, ccr, s).
+func TestInstanceSeedsStableUnderMatrixEdits(t *testing.T) {
+	c := tiny() // families lu+stencil, CCRs 0.2+5.0, 1 seed
+	c.Seeds = 2
+	all, err := c.instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := map[string]string{}
+	for _, in := range all {
+		byCell[fmt.Sprintf("%s/%g/%d", in.family, in.ccr, in.seed)] = in.g.TextString()
+	}
+	edits := []func(*Config){
+		func(c *Config) { c.Families = []string{"stencil"} }, // drop a family
+		func(c *Config) { c.CCRs = []float64{5.0} },          // drop a CCR
+		func(c *Config) { c.Seeds = 1 },                      // shrink the seed range
+	}
+	for i, edit := range edits {
+		ec := c
+		edit(&ec)
+		sub, err := ec.instances()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sub) == 0 || len(sub) >= len(all) {
+			t.Fatalf("edit %d: %d instances of %d", i, len(sub), len(all))
+		}
+		for _, in := range sub {
+			want, ok := byCell[fmt.Sprintf("%s/%g/%d", in.family, in.ccr, in.seed)]
+			if !ok {
+				t.Fatalf("edit %d: %s/%g cell not in the full matrix", i, in.family, in.ccr)
+			}
+			if in.g.TextString() != want {
+				t.Errorf("edit %d: surviving %s/%g instance's graph changed", i, in.family, in.ccr)
+			}
+		}
+	}
+}
+
+// TestInstanceSeedNoCollisions: cell seeds are injective over a matrix
+// far past the old formula's collision point (position + 1000·index
+// collided as soon as Seeds reached 1000).
+func TestInstanceSeedNoCollisions(t *testing.T) {
+	c := Config{BaseSeed: 1}
+	seen := map[int64]string{}
+	for _, fam := range []string{"lu", "laplace", "stencil", "fft"} {
+		for _, ccr := range []float64{0.1, 0.2, 1, 5, 10} {
+			for s := 0; s < 2500; s++ {
+				cell := fmt.Sprintf("%s/%g/%d", fam, ccr, s)
+				seed := c.instanceSeed(fam, ccr, s)
+				if prev, dup := seen[seed]; dup {
+					t.Fatalf("seed collision: %s and %s both derive %d", prev, cell, seed)
+				}
+				seen[seed] = cell
+			}
+		}
+	}
+	// And the derivation actually uses BaseSeed.
+	c2 := Config{BaseSeed: 2}
+	if c.instanceSeed("lu", 0.2, 0) == c2.instanceSeed("lu", 0.2, 0) {
+		t.Error("instanceSeed ignores BaseSeed")
 	}
 }
 
@@ -262,9 +376,12 @@ func TestRobustSmoke(t *testing.T) {
 	}
 }
 
-// TestParallelMatchesSequential: the worker-pool execution of Fig. 3 and
-// Fig. 4 must produce bit-identical results to the sequential run. Run
-// with -race to also exercise the concurrency safety of frozen graphs.
+// TestParallelMatchesSequential: the engine execution of Fig. 3, Fig. 4
+// and the fault sweep must produce bit-identical results to the serial
+// run. Workers is forced to 8 — well past GOMAXPROCS on small runners —
+// so a real pool with real interleaving is exercised; run with -race to
+// also check the concurrency safety of frozen graphs and per-worker
+// arenas.
 func TestParallelMatchesSequential(t *testing.T) {
 	cfg := tiny()
 	seq4, err := Fig4(cfg)
@@ -272,7 +389,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	pcfg := cfg
-	pcfg.Parallel = true
+	pcfg.Workers = 8
 	par4, err := Fig4(pcfg)
 	if err != nil {
 		t.Fatal(err)
@@ -306,11 +423,29 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 		}
 	}
+	seqF, err := FaultSweep(cfg, 4, []int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF, err := FaultSweep(pcfg, 4, []int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range seqF.Algorithms {
+		for _, sc := range seqF.Scenarios {
+			if seqF.Degradation[a][sc] != parF.Degradation[a][sc] ||
+				seqF.Recomputed[a][sc] != parF.Recomputed[a][sc] {
+				t.Fatalf("FaultSweep %s %v differs between sequential and parallel", a, sc)
+			}
+		}
+	}
 }
 
-func TestForEachPropagatesError(t *testing.T) {
+// TestEngineErrorPropagates: a failing sweep cell surfaces the serial
+// loop's error (the lowest failing index) through the engine.
+func TestEngineErrorPropagates(t *testing.T) {
 	var calls atomic.Int64
-	err := forEach(10, 4, func(i int) error {
+	err := Config{Workers: 4}.engine().Each(10, func(_ *par.Worker, i int) error {
 		calls.Add(1)
 		if i == 3 {
 			return errFake
@@ -320,8 +455,8 @@ func TestForEachPropagatesError(t *testing.T) {
 	if err != errFake {
 		t.Errorf("err = %v", err)
 	}
-	// Sequential path stops at the error; parallel path may complete all.
-	err = forEach(10, 1, func(i int) error {
+	// The serial path stops at the error; the pooled path completes all.
+	err = Config{}.engine().Each(10, func(_ *par.Worker, i int) error {
 		if i == 3 {
 			return errFake
 		}
@@ -329,6 +464,37 @@ func TestForEachPropagatesError(t *testing.T) {
 	})
 	if err != errFake {
 		t.Errorf("sequential err = %v", err)
+	}
+}
+
+// TestThroughputSmoke: the throughput experiment reports a sane positive
+// rate for every pool size and normalizes speedup to the first one.
+func TestThroughputSmoke(t *testing.T) {
+	cfg := tiny()
+	r, err := Throughput(cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs < 64 {
+		t.Errorf("Jobs = %d, want >= 64 (tiled)", r.Jobs)
+	}
+	for _, w := range r.Workers {
+		if r.JobsPerSec[w] <= 0 {
+			t.Errorf("workers=%d: jobs/sec = %v", w, r.JobsPerSec[w])
+		}
+	}
+	if got := r.Speedup[1]; got != 1 {
+		t.Errorf("speedup baseline = %v, want 1", got)
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Batch throughput") || !strings.Contains(out, "jobs/sec") {
+		t.Errorf("Format:\n%s", out)
+	}
+	if !strings.HasPrefix(r.CSV(), "workers,jobs_per_sec") {
+		t.Errorf("CSV:\n%s", r.CSV())
+	}
+	if _, err := Throughput(cfg, []int{0}); err == nil {
+		t.Error("worker count 0 accepted")
 	}
 }
 
@@ -360,7 +526,7 @@ func TestCCRSweepSmoke(t *testing.T) {
 	}
 	// Parallel equals sequential.
 	pcfg := cfg
-	pcfg.Parallel = true
+	pcfg.Workers = 8
 	r2, err := CCRSweep(pcfg, []float64{0.2, 5}, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"flb/internal/algo/registry"
-	"flb/internal/core"
 	"flb/internal/machine"
+	"flb/internal/par"
 	"flb/internal/schedule"
 	"flb/internal/stats"
 	"flb/internal/workload"
@@ -44,11 +43,6 @@ func CCRSweep(cfg Config, ccrs []float64, p int) (*CCRResult, error) {
 		Speedup:  map[string]map[float64]stats.Summary{},
 		NSL:      map[string]map[float64]stats.Summary{},
 	}
-	mcp, err := registry.New("mcp", cfg.BaseSeed)
-	if err != nil {
-		return nil, err
-	}
-	flb := core.FLB{}
 	sys := machine.NewSystem(p)
 
 	type cellKey struct {
@@ -65,8 +59,13 @@ func CCRSweep(cfg Config, ccrs []float64, p int) (*CCRResult, error) {
 	}
 	type cell struct{ speedup, nsl stats.Summary }
 	cells := make([]cell, len(keys))
-	err = forEach(len(keys), workers(cfg.Parallel), func(i int) error {
+	err := cfg.engine().Each(len(keys), func(w *par.Worker, i int) error {
 		k := keys[i]
+		flb := w.Scheduler()
+		mcp, err := w.Algorithm("mcp", cfg.BaseSeed)
+		if err != nil {
+			return err
+		}
 		var speedups, nsls []float64
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			g, err := workload.Instance(k.fam, cfg.TargetV, k.ccr, cfg.Sampler, cfg.BaseSeed+int64(seed))

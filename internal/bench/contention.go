@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"flb/internal/machine"
+	"flb/internal/par"
 	"flb/internal/sim"
 	"flb/internal/stats"
 )
@@ -46,31 +47,33 @@ func Contention(cfg Config, p int) (*ContentionResult, error) {
 		Slowdown: map[string]map[sim.Network]stats.Summary{},
 	}
 	sys := machine.NewSystem(p)
+	// keys address algorithms by registry name (cfg.Algorithms index) so
+	// each engine worker builds its own instance; display names label the
+	// result rows.
 	type cell struct {
-		alg string
+		alg int
 		net sim.Network
 	}
 	var keys []cell
-	for _, a := range algs {
+	for i, a := range algs {
 		res.Algorithms = append(res.Algorithms, a.Name())
 		res.Slowdown[a.Name()] = map[sim.Network]stats.Summary{}
 		for _, nw := range nets {
-			keys = append(keys, cell{a.Name(), nw})
+			keys = append(keys, cell{i, nw})
 		}
 	}
-	algByName := map[string]int{}
-	for i, a := range algs {
-		algByName[a.Name()] = i
-	}
 	cells := make([]stats.Summary, len(keys))
-	err = forEach(len(keys), workers(cfg.Parallel), func(i int) error {
+	err = cfg.engine().Each(len(keys), func(w *par.Worker, i int) error {
 		k := keys[i]
-		a := algs[algByName[k.alg]]
+		a, err := w.Algorithm(cfg.Algorithms[k.alg], cfg.BaseSeed)
+		if err != nil {
+			return err
+		}
 		var ratios []float64
 		for _, in := range insts {
 			s, err := a.Schedule(in.g, sys)
 			if err != nil {
-				return fmt.Errorf("bench contention: %s: %w", k.alg, err)
+				return fmt.Errorf("bench contention: %s: %w", a.Name(), err)
 			}
 			r, err := sim.RunContended(s, k.net)
 			if err != nil {
@@ -85,7 +88,7 @@ func Contention(cfg Config, p int) (*ContentionResult, error) {
 		return nil, err
 	}
 	for i, k := range keys {
-		res.Slowdown[k.alg][k.net] = cells[i]
+		res.Slowdown[algs[k.alg].Name()][k.net] = cells[i]
 	}
 	return res, nil
 }

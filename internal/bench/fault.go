@@ -8,6 +8,7 @@ import (
 	"flb/internal/core"
 	"flb/internal/fault"
 	"flb/internal/machine"
+	"flb/internal/par"
 	"flb/internal/sim"
 	"flb/internal/stats"
 )
@@ -89,47 +90,82 @@ func FaultSweep(cfg Config, p int, crashCounts []int, draws int) (*FaultSweepRes
 		res.Algorithms = append(res.Algorithms, a.Name())
 		res.Degradation[a.Name()] = map[FaultScenario]stats.Summary{}
 		res.Recomputed[a.Name()] = map[FaultScenario]stats.Summary{}
-		re := core.NewRescheduler()
+	}
+	// One job per (algorithm, instance) pair, fanned out over the engine
+	// (cfg.Workers). Each job's fault scenarios are drawn from an RNG
+	// seeded only by (BaseSeed, scenario, instance, draw) — independent of
+	// execution order — and repairs run on the worker's reusable arena,
+	// which is history-independent; the sweep's numbers are therefore
+	// byte-identical for every worker count. Per-scenario samples are
+	// aggregated below in (instance, draw) order, the serial loop's.
+	type faultCell struct {
+		ratios, recomp map[FaultScenario][]float64
+	}
+	cells := make([]faultCell, len(algs)*len(insts))
+	err = cfg.engine().Each(len(cells), func(w *par.Worker, j int) error {
+		ai, ii := j/len(insts), j%len(insts)
+		a, err := w.Algorithm(cfg.Algorithms[ai], cfg.BaseSeed)
+		if err != nil {
+			return err
+		}
+		re := w.Rescheduler()
 		choose := func(fault.Crash, int) (fault.Repairer, error) { return re, nil }
+		in := insts[ii]
+		s, err := a.Schedule(in.g, sys)
+		if err != nil {
+			return fmt.Errorf("bench fault: %s: %w", a.Name(), err)
+		}
+		base, err := sim.Run(s, nil, nil)
+		if err != nil {
+			return fmt.Errorf("bench fault: sim: %w", err)
+		}
+		cell := faultCell{
+			ratios: map[FaultScenario][]float64{},
+			recomp: map[FaultScenario][]float64{},
+		}
+		for _, sc := range scenarios {
+			for d := 0; d < draws; d++ {
+				// The scenario rng depends only on (seed, scenario,
+				// instance, draw): every algorithm faces the same
+				// processors crashing at the same relative times.
+				rng := rand.New(rand.NewSource(cfg.BaseSeed +
+					int64(1e9)*int64(sc.Crashes) + int64(1e6)*int64(ii) + int64(d) + boolSeed(sc.Lossy)))
+				plan := fault.Plan{Repair: fault.ModeReschedule}
+				for _, q := range rng.Perm(p)[:sc.Crashes] {
+					plan.Crashes = append(plan.Crashes, fault.Crash{
+						Proc: q,
+						Time: (0.1 + 0.8*rng.Float64()) * base.Makespan,
+					})
+				}
+				if sc.Lossy {
+					plan.MsgLoss = 0.05
+					plan.Retry = fault.RetryPolicy{
+						Timeout:    0.01 * base.Makespan,
+						MaxRetries: 3,
+					}
+				}
+				fr, err := sim.RunFaulty(s, plan, nil, nil, rng.Int63(), choose)
+				if err != nil {
+					return fmt.Errorf("bench fault: %s: %w", a.Name(), err)
+				}
+				cell.ratios[sc] = append(cell.ratios[sc], fr.Makespan/base.Makespan)
+				cell.recomp[sc] = append(cell.recomp[sc], float64(fr.Recomputed))
+			}
+		}
+		cells[j] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, a := range algs {
 		ratios := map[FaultScenario][]float64{}
 		recomputed := map[FaultScenario][]float64{}
-		for ii, in := range insts {
-			s, err := a.Schedule(in.g, sys)
-			if err != nil {
-				return nil, fmt.Errorf("bench fault: %s: %w", a.Name(), err)
-			}
-			base, err := sim.Run(s, nil, nil)
-			if err != nil {
-				return nil, fmt.Errorf("bench fault: sim: %w", err)
-			}
+		for ii := range insts {
+			cell := cells[ai*len(insts)+ii]
 			for _, sc := range scenarios {
-				for d := 0; d < draws; d++ {
-					// The scenario rng depends only on (seed, scenario,
-					// instance, draw): every algorithm faces the same
-					// processors crashing at the same relative times.
-					rng := rand.New(rand.NewSource(cfg.BaseSeed +
-						int64(1e9)*int64(sc.Crashes) + int64(1e6)*int64(ii) + int64(d) + boolSeed(sc.Lossy)))
-					plan := fault.Plan{Repair: fault.ModeReschedule}
-					for _, q := range rng.Perm(p)[:sc.Crashes] {
-						plan.Crashes = append(plan.Crashes, fault.Crash{
-							Proc: q,
-							Time: (0.1 + 0.8*rng.Float64()) * base.Makespan,
-						})
-					}
-					if sc.Lossy {
-						plan.MsgLoss = 0.05
-						plan.Retry = fault.RetryPolicy{
-							Timeout:    0.01 * base.Makespan,
-							MaxRetries: 3,
-						}
-					}
-					fr, err := sim.RunFaulty(s, plan, nil, nil, rng.Int63(), choose)
-					if err != nil {
-						return nil, fmt.Errorf("bench fault: %s: %w", a.Name(), err)
-					}
-					ratios[sc] = append(ratios[sc], fr.Makespan/base.Makespan)
-					recomputed[sc] = append(recomputed[sc], float64(fr.Recomputed))
-				}
+				ratios[sc] = append(ratios[sc], cell.ratios[sc]...)
+				recomputed[sc] = append(recomputed[sc], cell.recomp[sc]...)
 			}
 		}
 		for _, sc := range scenarios {

@@ -7,6 +7,7 @@ import (
 
 	"flb/internal/core"
 	"flb/internal/machine"
+	"flb/internal/par"
 	"flb/internal/sim"
 	"flb/internal/stats"
 )
@@ -41,31 +42,57 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 		Procs:  cfg.Procs,
 		Millis: map[string]map[int]stats.Summary{},
 	}
-	for _, a := range algs {
+	// One job per (algorithm, P) cell, fanned out over the engine
+	// (cfg.Workers). Each worker times its own algorithm instance, so the
+	// measured work per cell is exactly the serial sweep's; with a pool the
+	// cells overlap in wall-clock time, trading per-sample stability for
+	// sweep throughput (see Config.Workers).
+	type cellKey struct {
+		alg int
+		p   int
+	}
+	var keys []cellKey
+	for i, a := range algs {
 		res.Algorithms = append(res.Algorithms, a.Name())
 		res.Millis[a.Name()] = map[int]stats.Summary{}
 		for _, p := range cfg.Procs {
-			sys := machine.NewSystem(p)
-			// Untimed warm-up: fault in code paths and caches so the first
-			// timed sample is not an outlier.
-			if _, err := a.Schedule(insts[0].g, sys); err != nil {
-				return nil, fmt.Errorf("bench fig2: warm-up: %w", err)
-			}
-			var samples []float64
-			for _, in := range insts {
-				start := time.Now()
-				s, err := a.Schedule(in.g, sys)
-				elapsed := time.Since(start)
-				if err != nil {
-					return nil, fmt.Errorf("bench fig2: %s on %s: %w", a.Name(), in.g.Name, err)
-				}
-				if !s.Complete() {
-					return nil, fmt.Errorf("bench fig2: %s produced incomplete schedule", a.Name())
-				}
-				samples = append(samples, float64(elapsed.Nanoseconds())/1e6)
-			}
-			res.Millis[a.Name()][p] = stats.Summarize(samples)
+			keys = append(keys, cellKey{i, p})
 		}
+	}
+	cells := make([]stats.Summary, len(keys))
+	err = cfg.engine().Each(len(keys), func(w *par.Worker, i int) error {
+		k := keys[i]
+		a, err := w.Algorithm(cfg.Algorithms[k.alg], cfg.BaseSeed)
+		if err != nil {
+			return err
+		}
+		sys := machine.NewSystem(k.p)
+		// Untimed warm-up: fault in code paths and caches so the first
+		// timed sample is not an outlier.
+		if _, err := a.Schedule(insts[0].g, sys); err != nil {
+			return fmt.Errorf("bench fig2: warm-up: %w", err)
+		}
+		var samples []float64
+		for _, in := range insts {
+			start := time.Now()
+			s, err := a.Schedule(in.g, sys)
+			elapsed := time.Since(start)
+			if err != nil {
+				return fmt.Errorf("bench fig2: %s on %s: %w", a.Name(), in.g.Name, err)
+			}
+			if !s.Complete() {
+				return fmt.Errorf("bench fig2: %s produced incomplete schedule", a.Name())
+			}
+			samples = append(samples, float64(elapsed.Nanoseconds())/1e6)
+		}
+		cells[i] = stats.Summarize(samples)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		res.Millis[algs[k.alg].Name()][k.p] = cells[i]
 	}
 	if cfg.Observer != nil {
 		// One representative observed run — FLB schedule plus exact

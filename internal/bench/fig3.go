@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"flb/internal/core"
 	"flb/internal/machine"
+	"flb/internal/par"
 	"flb/internal/stats"
 )
 
@@ -65,17 +65,12 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 		}
 	}
 	cells := make([]stats.Summary, len(keys))
-	// Each worker owns one reusable FLB arena: the schedule is consumed
-	// (reduced to its speedup) before the next call, so the sweep's inner
-	// loop performs no steady-state allocations.
-	w := workers(cfg.Parallel)
-	scheds := make([]*core.Scheduler, w)
-	for i := range scheds {
-		scheds[i] = core.NewScheduler(core.FLB{})
-	}
-	err = forEachWorker(len(keys), w, func(worker, i int) error {
+	// Each engine worker owns one reusable FLB arena: the schedule is
+	// consumed (reduced to its speedup) before the worker's next call, so
+	// the sweep's inner loop performs no steady-state allocations.
+	err = cfg.engine().Each(len(keys), func(w *par.Worker, i int) error {
 		k := keys[i]
-		flb := scheds[worker]
+		flb := w.Scheduler()
 		var samples []float64
 		for _, in := range insts {
 			if in.family != k.fam || in.ccr != k.ccr {

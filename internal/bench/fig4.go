@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"flb/internal/algo/registry"
 	"flb/internal/machine"
+	"flb/internal/par"
 	"flb/internal/schedule"
 	"flb/internal/stats"
 )
@@ -35,10 +35,6 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, err := registry.New("mcp", cfg.BaseSeed)
-	if err != nil {
-		return nil, err
-	}
 	res := &Fig4Result{
 		Config:   cfg,
 		Families: cfg.Families,
@@ -50,7 +46,8 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 		res.Algorithms = append(res.Algorithms, a.Name())
 	}
 	// One job per (family, CCR, P) cell; cells are independent, so they
-	// fan out over the worker pool when cfg.Parallel is set.
+	// fan out over the engine's pool (cfg.Workers), each worker using its
+	// own algorithm instances.
 	type cellKey struct {
 		fam string
 		ccr float64
@@ -67,8 +64,12 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 		}
 	}
 	cells := make([]map[string]stats.Summary, len(keys))
-	err = forEach(len(keys), workers(cfg.Parallel), func(i int) error {
+	err = cfg.engine().Each(len(keys), func(w *par.Worker, i int) error {
 		k := keys[i]
+		ref, err := w.Algorithm("mcp", cfg.BaseSeed)
+		if err != nil {
+			return err
+		}
 		sys := machine.NewSystem(k.p)
 		samples := map[string][]float64{}
 		for _, in := range insts {
@@ -80,7 +81,11 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 				return fmt.Errorf("bench fig4: reference MCP: %w", err)
 			}
 			refMk := refS.Makespan()
-			for _, a := range algs {
+			for _, name := range cfg.Algorithms {
+				a, err := w.Algorithm(name, cfg.BaseSeed)
+				if err != nil {
+					return err
+				}
 				s, err := a.Schedule(in.g, sys)
 				if err != nil {
 					return fmt.Errorf("bench fig4: %s: %w", a.Name(), err)

@@ -2,72 +2,31 @@ package bench
 
 import (
 	"runtime"
-	"sync"
+
+	"flb/internal/par"
 )
 
-// The quality experiments (Fig. 3, Fig. 4, robustness) are embarrassingly
-// parallel across (instance, processor-count) cells — only Fig. 2 and the
-// scaling sweep must stay sequential, because they *time* the schedulers.
-// forEach fans work out over a bounded worker pool; results are written
-// into caller-indexed slots, so no synchronization beyond the WaitGroup is
-// needed and output stays deterministic.
+// The sweeps fan their independent cells out through the internal/par
+// batch engine: each worker owns reusable scheduling arenas and private
+// registry algorithm instances (algorithms may carry seeded or pooled
+// state, so they are never shared across goroutines), and every job
+// writes only into its own slot. Results are therefore byte-identical for
+// any Config.Workers value; see the determinism argument in internal/par.
+// Only the robustness sweep stays serial — its draws consume one RNG
+// sequence spanning instances, which a fan-out cannot reproduce.
 
-// Workers returns the worker count for parallel experiments: GOMAXPROCS,
-// or 1 when parallelism is disabled.
-func workers(parallel bool) int {
-	if !parallel {
+// workerCount resolves Config.Workers: 0 means serial, negative means
+// GOMAXPROCS, anything else is the pool size.
+func (c Config) workerCount() int {
+	switch {
+	case c.Workers == 0:
 		return 1
+	case c.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return c.Workers
 	}
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	return n
 }
 
-// forEach runs fn(i) for i in [0, n) on `w` workers. fn must only write to
-// per-i state.
-func forEach(n, w int, fn func(i int) error) error {
-	return forEachWorker(n, w, func(_, i int) error { return fn(i) })
-}
-
-// forEachWorker is forEach exposing the worker index in [0, w): fn(worker,
-// i) may use per-worker scratch (e.g. a pooled core.Scheduler) in addition
-// to per-i state, because a worker runs its jobs sequentially. The first
-// error wins; remaining work still completes (the jobs are cheap relative
-// to coordination and must not leak goroutines).
-func forEachWorker(n, w int, fn func(worker, i int) error) error {
-	if w < 2 || n < 2 {
-		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for i := range jobs {
-				if err := fn(worker, i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}(k)
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return firstErr
-}
+// engine returns a fresh batch engine sized by Config.Workers.
+func (c Config) engine() *par.Engine { return par.New(c.workerCount()) }

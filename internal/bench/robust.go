@@ -54,6 +54,11 @@ func Robust(cfg Config, p int, epsilons []float64, draws int) (*RobustResult, er
 		Slowdown: map[string]map[float64]stats.Summary{},
 	}
 	sys := machine.NewSystem(p)
+	// Deliberately serial (Config.Workers is ignored): each (alg, eps)
+	// column consumes one RNG sequence spanning all instances and draws,
+	// so any fan-out across instances would shift the draws and change the
+	// published numbers. The whole sweep is cheap relative to a draw's
+	// simulation; parallelism is not worth breaking reproducibility here.
 	for _, a := range algs {
 		res.Algorithms = append(res.Algorithms, a.Name())
 		res.Slowdown[a.Name()] = map[float64]stats.Summary{}

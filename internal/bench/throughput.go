@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flb/internal/machine"
+	"flb/internal/par"
+)
+
+// ThroughputResult holds the batch-throughput experiment: how many FLB
+// scheduling jobs per second the internal/par engine sustains at each
+// worker-pool size, on the standard instance matrix. Unlike Fig. 2 —
+// which reports per-schedule latency — this measures aggregate service
+// throughput, the figure that matters for a scheduler serving many
+// independent requests; the results the jobs compute are byte-identical
+// at every pool size, so the curve isolates pure engine scaling.
+type ThroughputResult struct {
+	Config Config
+	P      int
+	// Jobs is the batch size each pool was timed on (the instance matrix,
+	// tiled to a stable measurement length).
+	Jobs    int
+	Workers []int
+	// JobsPerSec[w] is the sustained scheduling throughput with w workers;
+	// Speedup[w] normalizes it to the 1-worker pool.
+	JobsPerSec map[int]float64
+	Speedup    map[int]float64
+}
+
+// Throughput measures batch scheduling throughput at each pool size in
+// workerCounts (nil means 1, 2, 4, 8), scheduling the instance matrix —
+// tiled to at least 64 jobs — onto the largest configured machine. Every
+// pool is warmed up before timing so arena growth is excluded, exactly
+// the steady state a long-running service reaches.
+func Throughput(cfg Config, workerCounts []int) (*ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	insts, err := cfg.instances()
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.Procs[len(cfg.Procs)-1]
+	sys := machine.NewSystem(p)
+	// Tile the matrix so one batch is long enough to time stably and the
+	// queue never starves a pool of up to max(workerCounts) workers.
+	const minJobs = 64
+	jobs := append([]instance(nil), insts...)
+	for len(jobs) < minJobs {
+		jobs = append(jobs, insts...)
+	}
+	res := &ThroughputResult{
+		Config:     cfg,
+		P:          p,
+		Jobs:       len(jobs),
+		Workers:    workerCounts,
+		JobsPerSec: map[int]float64{},
+		Speedup:    map[int]float64{},
+	}
+	makespans := make([]float64, len(jobs))
+	for _, wc := range workerCounts {
+		if wc < 1 {
+			return nil, fmt.Errorf("bench throughput: worker count %d < 1", wc)
+		}
+		eng := par.New(wc)
+		batch := func() error {
+			return eng.Each(len(jobs), func(w *par.Worker, i int) error {
+				s, err := w.Scheduler().Schedule(jobs[i].g, sys)
+				if err != nil {
+					return err
+				}
+				makespans[i] = s.Makespan()
+				return nil
+			})
+		}
+		// Warm up the arenas, then time enough batches to pass ~200ms.
+		if err := batch(); err != nil {
+			return nil, fmt.Errorf("bench throughput: %w", err)
+		}
+		var reps int
+		start := time.Now()
+		for elapsed := time.Duration(0); elapsed < 200*time.Millisecond; elapsed = time.Since(start) {
+			if err := batch(); err != nil {
+				return nil, fmt.Errorf("bench throughput: %w", err)
+			}
+			reps++
+		}
+		res.JobsPerSec[wc] = float64(reps*len(jobs)) / time.Since(start).Seconds()
+	}
+	base := res.JobsPerSec[workerCounts[0]]
+	for _, wc := range workerCounts {
+		res.Speedup[wc] = res.JobsPerSec[wc] / base
+	}
+	return res, nil
+}
+
+// Format renders the throughput table: pool sizes × jobs/sec with the
+// speedup over the first (usually 1-worker) pool.
+func (r *ThroughputResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Batch throughput — FLB jobs/sec vs worker-pool size, V≈%d, P=%d, %d jobs/batch\n",
+		r.Config.TargetV, r.P, r.Jobs)
+	header := []string{"workers", "jobs/sec", "speedup"}
+	var rows [][]string
+	for _, w := range r.Workers {
+		rows = append(rows, []string{
+			fmt.Sprint(w), f1(r.JobsPerSec[w]), f2(r.Speedup[w]),
+		})
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values.
+func (r *ThroughputResult) CSV() string {
+	rows := [][]string{{"workers", "jobs_per_sec", "speedup", "jobs", "procs"}}
+	for _, w := range r.Workers {
+		rows = append(rows, []string{
+			fmt.Sprint(w), f1(r.JobsPerSec[w]), f2(r.Speedup[w]),
+			fmt.Sprint(r.Jobs), fmt.Sprint(r.P),
+		})
+	}
+	return writeCSV(rows)
+}

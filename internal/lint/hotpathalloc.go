@@ -39,8 +39,12 @@ var allocOKBanned = map[string]bool{
 
 // requiredHotpath lists, per package, the receiver-qualified functions
 // that must carry //flb:hotpath: the per-iteration FLB procedures, the
-// O(log n) heap operations, and the CSR adjacency accessors.
+// O(log n) heap operations, the CSR adjacency accessors, and the batch
+// engine's per-job worker loop.
 var requiredHotpath = map[string][]string{
+	"flb/internal/par": {
+		"Engine.work",
+	},
 	"flb/internal/core": {
 		"flbState.run", "flbState.scheduleTask", "flbState.updateTaskLists",
 		"flbState.updateProcLists", "flbState.updateReadyTasks", "flbState.classifyReady",

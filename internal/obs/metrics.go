@@ -71,6 +71,12 @@ func (h *Hist) String() string {
 // — how often each selection rule wins, how deep the ready lists run, how
 // load spreads over processors, what faults cost. It allocates only on
 // the first Begin (per-processor arrays) and is reusable via Reset.
+//
+// Metrics is intentionally single-goroutine (plain counters, no atomics
+// or locks, per the package's sink contract). To aggregate across a
+// concurrent batch, give each job its own sink and merge afterwards — or
+// attach one Metrics to the batch API's observer option, which replays
+// all jobs into it sequentially (package doc, "batch sink-sharing").
 type Metrics struct {
 	// Runs counts Begin events per kind index (see Kind).
 	Runs [KindRepair + 1]int

@@ -29,8 +29,21 @@
 //     enforces this split: //flb:alloc-ok is banned inside core/sim hot
 //     paths and allowed only in sink implementations.
 //
+// # Concurrency and the batch sink-sharing contract
+//
 // Sinks are driven by a single goroutine per run and need not be safe for
-// concurrent use; use one sink per concurrently observed run.
+// concurrent use; use one sink per concurrently observed run. None of the
+// sinks in this package (Recorder, Metrics, ChromeTrace, Tee) carry
+// internal locking — sharing one across goroutines is a data race.
+//
+// Batch runners (internal/par via flb.RunBatch/ExecuteBatch, the
+// internal/bench sweeps) uphold that contract while fanning jobs out:
+// each concurrent job emits into a private per-job Recorder, and after
+// the batch the recorders are replayed into the user's sink in job-index
+// order. Because Replay preserves emission order exactly, the user's sink
+// observes the same single-goroutine byte stream the serial loop would
+// have produced — it never needs locking and never sees interleaving,
+// regardless of the worker count.
 package obs
 
 // Kind labels which instrumented loop a Begin/End pair brackets.

@@ -26,6 +26,12 @@ const (
 // allocations once the arenas have grown to the largest run seen. Consume
 // a recording with Replay (feed the stream into another sink, e.g. a
 // ChromeTrace or Metrics) or through the typed accessors.
+//
+// A Recorder is intentionally single-goroutine (no internal locking, per
+// the package's sink contract): one goroutine records a run, and Replay
+// runs on whichever single goroutine consumes it. Batch runners give
+// every concurrent job its own Recorder instead of sharing one — see the
+// batch sink-sharing contract in the package documentation.
 type Recorder struct {
 	log []uint8 // arrival order, indexing into the arenas below
 

@@ -71,6 +71,7 @@ type Options struct {
 	faulty    bool
 	observer  Observer
 	ctx       context.Context
+	workers   int
 }
 
 // Option configures one knob; pass any number to Run, RunOn or Execute.
@@ -132,6 +133,14 @@ func WithObserver(s Observer) Option {
 	return func(o *Options) { o.observer = s }
 }
 
+// WithWorkers sets the worker-pool size of RunBatch and ExecuteBatch;
+// n <= 0 (the default) selects GOMAXPROCS. Results are byte-identical
+// for every worker count, so n tunes only throughput. Run and Execute
+// ignore it — a single job has nothing to fan out.
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.workers = n }
+}
+
 // WithContext gives Execute a cancellation and deadline budget: while ctx
 // has room crashes are repaired with the full FLB reschedule; once the
 // deadline passed — or the time left is under four times the previous FLB
@@ -180,10 +189,19 @@ type ExecResult = sim.FaultResult
 // observations (WithContext decisions, RepairEvent.WallNanos) vary.
 func Execute(s *Schedule, opts ...Option) (*ExecResult, error) {
 	o := buildOptions(opts)
+	return executeOne(s, &o, o.observer, nil)
+}
+
+// executeOne runs one schedule under the built options, emitting into
+// sink. It is shared by Execute and ExecuteBatch: the batch path passes a
+// per-job sink and the worker's Rescheduler arena (re); a nil re builds a
+// fresh one, which produces bit-identical repairs (reschedule arenas are
+// history-independent).
+func executeOne(s *Schedule, o *Options, sink Observer, re *core.Rescheduler) (*ExecResult, error) {
 	pc := jitterStream(o.seed, sim.StreamComp, o.epsComp)
 	pm := jitterStream(o.seed, sim.StreamComm, o.epsComm)
 	if !o.faulty && o.ctx == nil {
-		r, err := sim.RunObserved(s, pc, pm, o.observer)
+		r, err := sim.RunObserved(s, pc, pm, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -197,26 +215,29 @@ func Execute(s *Schedule, opts ...Option) (*ExecResult, error) {
 	var choose sim.RepairChooser
 	if o.ctx != nil {
 		var err error
-		if choose, err = deadlineChooser(o.ctx); err != nil {
+		if choose, err = deadlineChooser(o.ctx, re); err != nil {
 			return nil, err
 		}
 	} else {
-		choose = fixedChooser(o.plan.Repair)
+		choose = fixedChooser(o.plan.Repair, re)
 	}
 	return sim.RunFaultyObserved(s, o.plan, pc, pm,
-		sim.DeriveSeed(o.seed, sim.StreamLoss), choose, o.observer)
+		sim.DeriveSeed(o.seed, sim.StreamLoss), choose, sink)
 }
 
 // deadlineChooser builds the graceful-degradation chooser of WithContext
 // (and the deprecated RunContext): full FLB reschedules while the
-// deadline has room, migrate-in-place after.
-func deadlineChooser(ctx context.Context) (sim.RepairChooser, error) {
+// deadline has room, migrate-in-place after. A nil re builds a private
+// reschedule arena.
+func deadlineChooser(ctx context.Context, re *core.Rescheduler) (sim.RepairChooser, error) {
 	// An expired deadline is not an abort: it means every repair degrades
 	// to migrate. Only cancellation stops the run.
 	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return nil, err
 	}
-	re := core.NewRescheduler()
+	if re == nil {
+		re = core.NewRescheduler()
+	}
 	var mig fault.MigrateRepairer
 	var lastRepair time.Duration
 	deadline, hasDeadline := ctx.Deadline()
