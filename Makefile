@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all lint fmt vet flblint build test race fuzz bench throughput trace clean
+.PHONY: all lint fmt vet flblint build test race fuzz bench throughput cache trace clean
 
 all: lint build test
 
@@ -34,6 +34,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSTG$$' -fuzztime 10s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzHeap$$' -fuzztime 10s ./internal/pq
+	$(GO) test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime 10s ./internal/memo
+
+# Schedule-cache latency sweep (cold vs warm vs near-hit, mixed streams).
+cache:
+	$(GO) run ./cmd/flbbench -exp cache
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig2|Scaling' -benchmem .

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"flb/internal/machine"
+	"flb/internal/memo"
 	"flb/internal/obs"
 	"flb/internal/par"
 )
@@ -32,12 +33,40 @@ func RunBatch(graphs []*Graph, p int, opts ...Option) ([]*Schedule, error) {
 // RunBatchOn is RunBatch on an explicit system.
 func RunBatchOn(graphs []*Graph, sys System, opts ...Option) ([]*Schedule, error) {
 	o := buildOptions(opts)
+	flbPath := o.algorithm == "" || strings.EqualFold(o.algorithm, "flb")
+	// Batch-wide knobs are validated once, before the pool spins up:
+	// every job would re-derive the same verdict on the same algorithm
+	// name and system, so discovering it per job wastes a pool spin-up
+	// and N-1 redundant checks. Ordered to match the serial loop's error
+	// precedence — Run resolves the algorithm before its Schedule call
+	// validates the system.
+	if !flbPath {
+		if _, err := NewAlgorithm(o.algorithm, o.seed); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
 	eng := par.New(o.workers)
 	out := make([]*Schedule, len(graphs))
-	flbPath := o.algorithm == "" || strings.EqualFold(o.algorithm, "flb")
 	tee := newSinkTee(o.observer, eng.Workers(), len(graphs))
 	err := eng.Each(len(graphs), func(w *par.Worker, i int) error {
 		if flbPath {
+			// Exact-tier cache lookup, unobserved jobs only: a hit's bytes
+			// equal the cold run's bytes, so results stay independent of
+			// which jobs hit — the near tier would not be (its output
+			// depends on cache-warm order) and is never consulted here.
+			var key memo.Key
+			if o.cache != nil {
+				key = memo.KeyOf(graphs[i], sys, "flb", o.seed)
+				if o.observer == nil {
+					if s, ok := o.cache.Get(graphs[i], sys, key, false); ok {
+						out[i] = s
+						return nil
+					}
+				}
+			}
 			sc := w.Scheduler()
 			sc.Observe(tee.sink(i))
 			s, err := sc.Schedule(graphs[i], sys)
@@ -47,6 +76,11 @@ func RunBatchOn(graphs []*Graph, sys System, opts ...Option) ([]*Schedule, error
 			// The arena's schedule is only valid until the worker's next
 			// job; the slot keeps its own copy.
 			out[i] = s.Clone()
+			if o.cache != nil {
+				// Put deep-copies; concurrent misses on one problem insert
+				// identical entries (the second is a touch).
+				o.cache.Put(graphs[i], sys, key, s)
+			}
 			return nil
 		}
 		a, err := w.Algorithm(o.algorithm, o.seed)
@@ -64,6 +98,11 @@ func RunBatchOn(graphs []*Graph, sys System, opts ...Option) ([]*Schedule, error
 		return nil, err
 	}
 	tee.flush()
+	if o.cache != nil && o.observer != nil {
+		// One cumulative snapshot per batch, after the replayed job
+		// streams, from the caller's goroutine (the sink contract).
+		o.observer.CacheStats(o.cache.StatsEvent())
+	}
 	return out, nil
 }
 

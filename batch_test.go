@@ -197,3 +197,76 @@ func TestBatchErrorIsSerial(t *testing.T) {
 		t.Errorf("failed batch emitted %d events, want 0", rec.Len())
 	}
 }
+
+// TestRunBatchValidationHoisted: batch-wide knobs (algorithm name, system)
+// are rejected before the pool spins up, with exactly the serial loop's
+// error and precedence — the algorithm resolves before the system
+// validates, matching Run.
+func TestRunBatchValidationHoisted(t *testing.T) {
+	gs := batchGraphs(t)
+	bad := flb.System{P: 0}
+	_, batchErr := flb.RunBatchOn(gs, bad)
+	if batchErr == nil {
+		t.Fatal("RunBatchOn accepted P=0")
+	}
+	_, serialErr := flb.RunOn(gs[0], bad)
+	if serialErr == nil {
+		t.Fatal("RunOn accepted P=0")
+	}
+	if batchErr.Error() != serialErr.Error() {
+		t.Errorf("batch error %q, serial error %q", batchErr, serialErr)
+	}
+	// Precedence: with both knobs broken, the algorithm error wins.
+	_, bothErr := flb.RunBatchOn(gs, bad, flb.WithAlgorithm("no-such-algorithm"))
+	if bothErr == nil {
+		t.Fatal("RunBatchOn accepted an unknown algorithm on an invalid system")
+	}
+	_, wantErr := flb.RunOn(gs[0], bad, flb.WithAlgorithm("no-such-algorithm"))
+	if wantErr == nil {
+		t.Fatal("RunOn accepted an unknown algorithm")
+	}
+	if bothErr.Error() != wantErr.Error() {
+		t.Errorf("batch precedence error %q, serial %q", bothErr, wantErr)
+	}
+}
+
+// TestRunBatchPerJobAllocBudget pins the hoist regression: per-job
+// overhead on the FLB path is the result clone plus slot bookkeeping, not
+// re-validation or algorithm re-resolution. Measured as the marginal
+// allocations between a small and a large batch of the same frozen
+// problem on one worker (the arena path).
+func TestRunBatchPerJobAllocBudget(t *testing.T) {
+	g, err := flb.WorkloadInstance("lu", 120, 1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	batch := func(n int) []*flb.Graph {
+		gs := make([]*flb.Graph, n)
+		for i := range gs {
+			gs[i] = g
+		}
+		return gs
+	}
+	measure := func(gs []*flb.Graph) float64 {
+		for i := 0; i < 2; i++ { // warm the engine and arenas
+			if _, err := flb.RunBatch(gs, 8, flb.WithWorkers(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := flb.RunBatch(gs, 8, flb.WithWorkers(1)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := measure(batch(4)), measure(batch(12))
+	perJob := (large - small) / 8
+	// A schedule clone is a handful of consolidated allocations; budget
+	// generously to catch only a return to per-job validation/resolution
+	// (each NewAlgorithm probe alone is several allocations plus registry
+	// work).
+	if perJob > 20 {
+		t.Errorf("marginal batch job allocates %.1f, want <= 20", perJob)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"flb/internal/bench"
+	"flb/internal/memo"
 	"flb/internal/obs"
 )
 
@@ -58,7 +59,7 @@ type jsonExperiment struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("flbbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, throughput, or all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, throughput, cache, or all")
 		quick    = fs.Bool("quick", false, "scaled-down configuration (V≈200, 2 seeds)")
 		targetV  = fs.Int("v", 0, "override the approximate task count (default 2000; 200 with -quick)")
 		seeds    = fs.Int("seeds", 0, "override instances per (family, CCR) (default 5; 2 with -quick, and -exp all trims heavy sweeps to 2)")
@@ -71,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 		traceOut = fs.String("trace", "", "write a Chrome Trace Event JSON of one representative run per experiment ('-' for stdout)")
+		cacheCap = fs.Int("cache", 0, "route the quality sweeps' FLB scheduling through a shared schedule cache of this capacity (0 = no cache); results are byte-identical with or without")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +115,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *families != "" {
 		cfg.Families = strings.Split(*families, ",")
+	}
+	if *cacheCap > 0 {
+		cfg.Cache = memo.NewCache(*cacheCap)
 	}
 	var traceClose func() error
 	if *traceOut != "" {
@@ -206,6 +211,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if want("fig4") {
 		ran = true
+		if cfg.Cache != nil {
+			// Warm pass: run the sweep once to populate the cache, discard
+			// the result, and let the emitted run below answer from hits.
+			// The CI diff gate compares this output against an uncached
+			// run — byte equality is the cache's determinism contract.
+			if _, err := bench.Fig4(cfg); err != nil {
+				return err
+			}
+		}
 		r, err := bench.Fig4(cfg)
 		if err != nil {
 			return err
@@ -324,6 +338,23 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if want("cache") {
+		ran = true
+		ccfg := cfg
+		if *exp == "all" && !*quick {
+			// The sweep schedules every instance several times per tier and
+			// mix; the quick-sized matrix measures the same ratios.
+			ccfg.TargetV = 500
+			ccfg.Seeds = 2
+		}
+		r, err := bench.CacheSweep(ccfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("cache", "", r); err != nil {
+			return err
+		}
+	}
 	if want("scaling") {
 		ran = true
 		sizes := []int{250, 500, 1000, 2000}
@@ -341,7 +372,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, throughput, or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, throughput, cache, or all)", *exp)
 	}
 	if traceClose != nil {
 		if err := traceClose(); err != nil {

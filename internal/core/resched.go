@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flb/internal/fault"
+	"flb/internal/graph"
 	"flb/internal/machine"
 	"flb/internal/obs"
 	"flb/internal/schedule"
@@ -196,6 +197,173 @@ func (r *Rescheduler) repairSuffix(req *fault.Request) error {
 		r.sink.End(obs.End{Kind: obs.KindRepair, Makespan: r.plan.Makespan()})
 	}
 	return nil
+}
+
+// ReplanSuffix rebuilds the tail of a previously computed schedule for a
+// weight-drifted resubmission of the same graph structure: the first k
+// placements of base are replayed bit-identically (task, processor and
+// start time), and the remaining tasks are list-scheduled onto g in
+// bottom-level priority order (the paper's task priority; ties to the
+// smaller task id), each task placed on the processor achieving its
+// earliest start (ties to the smaller processor index). Selection runs
+// off a binary heap, so a repair of S tasks costs O(S log S + S·d·P)
+// instead of the O(S·ready·P) full rescan the fault path performs — the
+// near-hit tier must stay well under a cold FLB run to be worth serving.
+// It is the engine behind the schedule cache's near-hit tier
+// (internal/memo).
+//
+// Soundness of the prefix replay requires that for every task in
+// base.PlacementOrder()[:k] the computation cost and every in-edge
+// communication cost are unchanged between base's graph and g: placement
+// order is topological, so all predecessors of a replayed task are
+// themselves replayed, their finish times reproduce exactly (unchanged
+// comp), and every replayed start time remains feasible (unchanged
+// in-edge comms). The caller (the cache) establishes this by choosing k
+// as the minimum base position over weight-changed tasks.
+//
+// The replanned suffix is deterministic in (g, sys, base, k) — the arena
+// is history-independent, so any Rescheduler produces bit-identical
+// output — but it is NOT the schedule a cold FLB run on g would produce:
+// FLB's tie-breaking uses bottom levels, which are global functions of
+// all downstream weights, so a trailing drift can reorder even the
+// untouched prefix of a cold run. See DESIGN.md §13 for the full
+// argument. The run is deliberately unobserved (no sink events): the
+// cache serves it outside any observed scheduling run.
+//
+// The returned schedule is arena-owned: valid only until the next Repair
+// or ReplanSuffix call on r. Callers that keep it must Clone it.
+func (r *Rescheduler) ReplanSuffix(g *graph.Graph, sys machine.System, base *schedule.Schedule, k int) (*schedule.Schedule, error) {
+	n := g.NumTasks()
+	order := base.PlacementOrder()
+	if len(order) != n {
+		return nil, fmt.Errorf("core: ReplanSuffix base places %d tasks, graph has %d", len(order), n)
+	}
+	if base.NumProcs() != sys.P {
+		return nil, fmt.Errorf("core: ReplanSuffix base has P=%d, system has P=%d", base.NumProcs(), sys.P)
+	}
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("core: ReplanSuffix prefix length %d out of range [0,%d]", k, n)
+	}
+	if r.plan == nil {
+		r.plan = schedule.New(g, sys)
+	} else {
+		r.plan.Reset(g, sys)
+	}
+	r.plan.Algorithm = "flb-nearhit"
+	for i := 0; i < k; i++ {
+		t := order[i]
+		r.plan.Place(t, base.Proc(t), base.Start(t))
+	}
+	if k == n {
+		return r.plan, nil
+	}
+	bl := g.BottomLevels()
+	r.inPlan = growBool(r.inPlan, n)
+	clear(r.inPlan)
+	for i := k; i < n; i++ {
+		r.inPlan[order[i]] = true
+	}
+	r.pending = growInt(r.pending, n)
+	r.ready = r.ready[:0]
+	for i := k; i < n; i++ {
+		t := order[i]
+		cnt := 0
+		for _, ei := range g.PredEdges(t) {
+			if r.inPlan[g.Edge(ei).From] {
+				cnt++
+			}
+		}
+		r.pending[t] = cnt
+		if cnt == 0 {
+			r.readyPush(bl, t)
+		}
+	}
+	for placed := k; placed < n; placed++ {
+		bt := r.readyPop(bl)
+		if bt < 0 {
+			return nil, fmt.Errorf("core: ReplanSuffix stuck with %d tasks left — suffix is cyclic", n-placed)
+		}
+		bp, best := machine.Proc(0), r.plan.EST(bt, 0)
+		for p := 1; p < sys.P; p++ {
+			if est := r.plan.EST(bt, machine.Proc(p)); est < best {
+				bp, best = machine.Proc(p), est
+			}
+		}
+		r.plan.Place(bt, bp, best)
+		r.inPlan[bt] = false
+		for _, ei := range g.SuccEdges(bt) {
+			to := g.Edge(ei).To
+			if !r.inPlan[to] {
+				continue
+			}
+			r.pending[to]--
+			if r.pending[to] == 0 {
+				r.readyPush(bl, to)
+			}
+		}
+	}
+	return r.plan, nil
+}
+
+// priorBefore is the replan priority: larger bottom level first, ties to
+// the smaller task id — a total order, so heap extraction (and with it
+// the whole replan) is deterministic.
+//
+//flb:exact equal bottom levels must fall through to the id comparison or the heap order, and the replanned schedule, loses determinism
+//flb:hotpath
+func priorBefore(bl []float64, a, b int) bool {
+	if bl[a] != bl[b] {
+		return bl[a] > bl[b]
+	}
+	return a < b
+}
+
+// readyPush inserts t into the ready heap (r.ready ordered by
+// priorBefore).
+//
+//flb:hotpath
+func (r *Rescheduler) readyPush(bl []float64, t int) {
+	r.ready = append(r.ready, t)
+	i := len(r.ready) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !priorBefore(bl, r.ready[i], r.ready[parent]) {
+			break
+		}
+		r.ready[i], r.ready[parent] = r.ready[parent], r.ready[i]
+		i = parent
+	}
+}
+
+// readyPop removes and returns the highest-priority ready task, or -1
+// when the heap is empty.
+//
+//flb:hotpath
+func (r *Rescheduler) readyPop(bl []float64) int {
+	n := len(r.ready)
+	if n == 0 {
+		return -1
+	}
+	top := r.ready[0]
+	r.ready[0] = r.ready[n-1]
+	r.ready = r.ready[:n-1]
+	n--
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && priorBefore(bl, r.ready[c+1], r.ready[c]) {
+			c++
+		}
+		if !priorBefore(bl, r.ready[c], r.ready[i]) {
+			break
+		}
+		r.ready[i], r.ready[c] = r.ready[c], r.ready[i]
+		i = c
+	}
+	return top
 }
 
 // est returns the earliest start of pending task t on survivor p: the

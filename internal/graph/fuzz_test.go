@@ -50,6 +50,9 @@ func FuzzReadText(f *testing.F) {
 		"task 0 1\ntask 1 1\nedge 0 1 -2\n",
 		"task 0 1\nedge -1 0 1\n",
 		"graph a\ntask 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n",
+		// Duplicate edges, equal and conflicting weights: both rejected.
+		"task 0 1\ntask 1 1\nedge 0 1 1\nedge 0 1 1\n",
+		"task 0 1\ntask 1 1\nedge 0 1 1\nedge 0 1 2\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -92,6 +95,9 @@ func FuzzReadSTG(f *testing.F) {
 		"2\n0 1 0\n1 1 1 0 -1\n",
 		"3000000000\n",
 		"-7\n",
+		// Duplicate predecessors, classic and weighted: both rejected.
+		"2\n0 1 0\n1 1 2 0 0\n",
+		"2\n0 1 0\n1 1 2 0 3 0 4\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

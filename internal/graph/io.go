@@ -66,6 +66,10 @@ func ReadText(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	lineNo := 0
+	// Duplicate edges would merge into one dependence with an ambiguous
+	// weight; Validate rejects them too, but only after the whole file is
+	// parsed and without the offending line. Catch them here instead.
+	edgeLine := make(map[[2]int]int)
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -128,6 +132,10 @@ func ReadText(r io.Reader) (*Graph, error) {
 			if from < 0 || from >= g.NumTasks() || to < 0 || to >= g.NumTasks() {
 				return nil, fmt.Errorf("graph text line %d: edge %d->%d references unknown task", lineNo, from, to)
 			}
+			if first, dup := edgeLine[[2]int{from, to}]; dup {
+				return nil, fmt.Errorf("graph text line %d: duplicate edge %d->%d (first declared on line %d)", lineNo, from, to, first)
+			}
+			edgeLine[[2]int{from, to}] = lineNo
 			g.AddEdge(from, to, comm)
 		default:
 			return nil, fmt.Errorf("graph text line %d: unknown directive %q", lineNo, fields[0])

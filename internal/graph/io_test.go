@@ -108,6 +108,36 @@ func TestParseTextErrors(t *testing.T) {
 	}
 }
 
+// TestParseTextDuplicateEdge pins the parser-level rejection of duplicate
+// edges: the error must name the duplicating line and the first
+// declaration, which post-hoc Validate cannot do.
+func TestParseTextDuplicateEdge(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"same weight", "task 0 1\ntask 1 1\nedge 0 1 1\nedge 0 1 1\n"},
+		{"conflicting weight", "task 0 1\ntask 1 1\nedge 0 1 1\nedge 0 1 2\n"},
+	}
+	for _, c := range cases {
+		_, err := ParseText(c.src)
+		if err == nil {
+			t.Fatalf("%s: ParseText accepted duplicate edge %q", c.name, c.src)
+		}
+		msg := err.Error()
+		for _, want := range []string{"line 4", "duplicate edge 0->1", "line 3"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: error %q missing %q", c.name, msg, want)
+			}
+		}
+	}
+	// Same endpoints in a reconvergent diamond are fine: 0->1, 0->2 is not
+	// a duplicate, and neither is a second edge sharing only one endpoint.
+	if _, err := ParseText("task 0 1\ntask 1 1\ntask 2 1\nedge 0 1 1\nedge 0 2 1\nedge 1 2 1\n"); err != nil {
+		t.Fatalf("ParseText rejected distinct edges: %v", err)
+	}
+}
+
 func TestWriteDOT(t *testing.T) {
 	g := paperGraph()
 	var b strings.Builder

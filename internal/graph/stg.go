@@ -72,6 +72,10 @@ func ReadSTG(r io.Reader) (*Graph, error) {
 		g.AddTask(0)
 	}
 	weighted := -1 // unknown until a task with predecessors is seen
+	// A task listing the same predecessor twice would declare two parallel
+	// edges with possibly different weights; Validate rejects that later,
+	// but without naming the task. seenPred is reused across task lines.
+	seenPred := make(map[int]struct{})
 	for i := 0; i < n; i++ {
 		fields, ok := readLine()
 		if !ok {
@@ -114,6 +118,7 @@ func ReadSTG(r io.Reader) (*Graph, error) {
 		if len(rest) != want {
 			return nil, fmt.Errorf("graph stg: task %d has %d predecessor tokens, want %d", id, len(rest), want)
 		}
+		clear(seenPred)
 		for j := 0; j < npred; j++ {
 			var predTok, commTok string
 			if weighted == 1 {
@@ -125,6 +130,10 @@ func ReadSTG(r io.Reader) (*Graph, error) {
 			if err != nil || pred < 0 || pred >= n {
 				return nil, fmt.Errorf("graph stg: task %d has bad predecessor %q", id, predTok)
 			}
+			if _, dup := seenPred[pred]; dup {
+				return nil, fmt.Errorf("graph stg: task %d lists predecessor %d twice", id, pred)
+			}
+			seenPred[pred] = struct{}{}
 			comm, err := strconv.ParseFloat(commTok, 64)
 			if err != nil {
 				return nil, fmt.Errorf("graph stg: task %d has bad comm %q", id, commTok)

@@ -144,11 +144,25 @@ func TestSTGErrors(t *testing.T) {
 		{"negative comm", "2\n0 1 0\n1 1 1 0 -1\n"},
 		{"negative pred", "2\n0 1 0\n1 1 1 -1\n"},
 		{"absurd task count", "3000000000\n"},
+		{"duplicate pred classic", "2\n0 1 0\n1 1 2 0 0\n"},
+		{"duplicate pred weighted", "2\n0 1 0\n1 1 2 0 3 0 4\n"},
 	}
 	for _, c := range cases {
 		if _, err := ReadSTG(strings.NewReader(c.src)); err == nil {
 			t.Errorf("%s: accepted %q", c.name, c.src)
 		}
+	}
+}
+
+// TestSTGDuplicatePredError pins the task-accurate message: the reader
+// names the offending task, which post-hoc Validate cannot.
+func TestSTGDuplicatePredError(t *testing.T) {
+	_, err := ReadSTG(strings.NewReader("2\n0 1 0\n1 1 2 0 3 0 4\n"))
+	if err == nil {
+		t.Fatal("ReadSTG accepted duplicate predecessor")
+	}
+	if !strings.Contains(err.Error(), "task 1 lists predecessor 0 twice") {
+		t.Errorf("error %q does not name the task and predecessor", err)
 	}
 }
 

@@ -58,6 +58,9 @@ var requiredHotpath = map[string][]string{
 	"flb/internal/algo": {
 		"ReadyTracker.Complete",
 	},
+	"flb/internal/memo": {
+		"KeyOf",
+	},
 }
 
 func runHotPathAlloc(p *Pass) {

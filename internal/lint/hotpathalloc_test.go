@@ -17,6 +17,13 @@ func TestHotPathAllocRequiredMarkers(t *testing.T) {
 	lint.RunTest(t, "testdata", lint.HotPathAlloc, "flb/internal/graph")
 }
 
+// TestHotPathAllocRequiredMarkersMemo checks the required-marker rule on
+// a testdata package shadowing flb/internal/memo, where the fingerprint
+// walk KeyOf must carry //flb:hotpath.
+func TestHotPathAllocRequiredMarkersMemo(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.HotPathAlloc, "flb/internal/memo")
+}
+
 // TestHotPathAllocBanInSim checks the alloc-ok ban on a testdata package
 // whose import path shadows flb/internal/sim: there the suppression
 // itself is the finding, keeping the nil-observer fast path honest.

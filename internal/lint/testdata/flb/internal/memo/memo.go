@@ -1,0 +1,18 @@
+// Package memo mirrors the real fingerprint package to exercise the
+// required-marker rule: under the import path flb/internal/memo the
+// analyzer demands //flb:hotpath on KeyOf — the cache's per-lookup walk
+// over V+E weights must stay allocation-free or memoized scheduling loses
+// its point — and the unmarked function below is a finding reported on
+// the package clause.
+package memo // want `KeyOf must be marked //flb:hotpath`
+
+type Key struct{ Hi, Lo uint64 }
+
+func KeyOf(words []uint64) Key {
+	var k Key
+	for _, w := range words {
+		k.Lo ^= w
+		k.Hi += w
+	}
+	return k
+}

@@ -1,0 +1,310 @@
+package memo
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"flb/internal/core"
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/schedule"
+)
+
+func coldSchedule(t testing.TB, g *graph.Graph, sys machine.System) *schedule.Schedule {
+	t.Helper()
+	s, err := core.NewScheduler(core.FLB{}).Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func scheduleBytes(t testing.TB, s *schedule.Schedule) string {
+	t.Helper()
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCacheCapClamp(t *testing.T) {
+	for _, capacity := range []int{-3, 0, 1, 5} {
+		c := NewCache(capacity)
+		want := capacity
+		if want < 1 {
+			want = 1
+		}
+		if c.Cap() != want {
+			t.Errorf("NewCache(%d).Cap() = %d, want %d", capacity, c.Cap(), want)
+		}
+		if c.Len() != 0 {
+			t.Errorf("NewCache(%d).Len() = %d, want 0", capacity, c.Len())
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	sys := machine.NewSystem(3)
+	gs := []*graph.Graph{memoGraph(1, 20), memoGraph(2, 20), memoGraph(3, 20)}
+	keys := make([]Key, len(gs))
+	c := NewCache(2)
+	for i, g := range gs[:2] {
+		keys[i] = KeyOf(g, sys, "flb", 1)
+		c.Put(g, sys, keys[i], coldSchedule(t, g, sys))
+	}
+	// Touch g0 so g1 becomes least recently used, then insert g2.
+	if _, ok := c.Get(gs[0], sys, keys[0], false); !ok {
+		t.Fatal("expected hit on cached problem 0")
+	}
+	keys[2] = KeyOf(gs[2], sys, "flb", 1)
+	c.Put(gs[2], sys, keys[2], coldSchedule(t, gs[2], sys))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after inserting into a full cache, want 2", c.Len())
+	}
+	if _, ok := c.Get(gs[1], sys, keys[1], false); ok {
+		t.Errorf("least recently used entry survived eviction")
+	}
+	if _, ok := c.Get(gs[0], sys, keys[0], false); !ok {
+		t.Errorf("recently used entry was evicted")
+	}
+	if _, ok := c.Get(gs[2], sys, keys[2], false); !ok {
+		t.Errorf("just-inserted entry missing")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheStatsCounters(t *testing.T) {
+	g := memoGraph(5, 25)
+	sys := machine.NewSystem(3)
+	key := KeyOf(g, sys, "flb", 1)
+	c := NewCache(4)
+	if _, ok := c.Get(g, sys, key, false); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put(g, sys, key, coldSchedule(t, g, sys))
+	c.Put(g, sys, key, coldSchedule(t, g, sys)) // same key: touch, not insert
+	if _, ok := c.Get(g, sys, key, false); !ok {
+		t.Fatal("miss on a cached problem")
+	}
+	st := c.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.NearHits != 0 || st.Puts != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want 2 gets, 1 hit, 1 put", st)
+	}
+	if st.Misses() != 1 {
+		t.Errorf("Misses() = %d, want 1", st.Misses())
+	}
+	if st.HitRate() != 50 {
+		t.Errorf("HitRate() = %g, want 50", st.HitRate())
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after double Put of one key, want 1", c.Len())
+	}
+	ev := c.StatsEvent()
+	if ev.Gets != 2 || ev.Hits != 1 || ev.Puts != 1 || ev.Len != 1 || ev.Cap != 4 {
+		t.Errorf("StatsEvent = %+v, want gets 2, hits 1, puts 1, len 1, cap 4", ev)
+	}
+}
+
+// TestCacheHitByteIdentity: a hit is byte-identical to the cold run and
+// rebound to the caller's graph and system objects.
+func TestCacheHitByteIdentity(t *testing.T) {
+	g := memoGraph(6, 50)
+	sys := machine.NewSystem(4)
+	cold := coldSchedule(t, g, sys)
+	c := NewCache(4)
+	key := KeyOf(g, sys, "flb", 1)
+	c.Put(g, sys, key, cold)
+	s, ok := c.Get(g, sys, key, false)
+	if !ok {
+		t.Fatal("exact resubmission missed")
+	}
+	if scheduleBytes(t, s) != scheduleBytes(t, cold) {
+		t.Errorf("cache hit differs from the cold run")
+	}
+	// Look the problem up via a renamed clone: same fingerprint, distinct
+	// object — the served schedule must be bound to the clone, so its
+	// bytes equal a cold run on the clone (the name rides along).
+	r := g.Clone()
+	r.Name = "resubmission"
+	r.Freeze()
+	s, ok = c.Get(r, sys, KeyOf(r, sys, "flb", 1), false)
+	if !ok {
+		t.Fatal("renamed resubmission missed")
+	}
+	if scheduleBytes(t, s) != scheduleBytes(t, coldSchedule(t, r, sys)) {
+		t.Errorf("rebound cache hit differs from a cold run on the resubmission")
+	}
+	if s.Graph() != r {
+		t.Errorf("hit is not rebound to the submitted graph")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("hit does not validate: %v", err)
+	}
+}
+
+// nearHitProblem caches g's schedule and returns a variant whose trailing
+// (in placement order) tasks' computation weights drifted.
+func nearHitProblem(t testing.TB, c *Cache, g *graph.Graph, sys machine.System) *graph.Graph {
+	t.Helper()
+	base := coldSchedule(t, g, sys)
+	c.Put(g, sys, KeyOf(g, sys, "flb", 1), base)
+	order := base.PlacementOrder()
+	drifted := g.Clone()
+	for _, tk := range order[len(order)-len(order)/4:] {
+		drifted.SetComp(tk, g.Comp(tk)*1.25)
+	}
+	drifted.Freeze()
+	return drifted
+}
+
+func TestCacheNearHit(t *testing.T) {
+	g := memoGraph(7, 60)
+	sys := machine.NewSystem(4)
+	c := NewCache(4)
+	c.EnableNearHit(true)
+	drifted := nearHitProblem(t, c, g, sys)
+	key := KeyOf(drifted, sys, "flb", 1)
+	s, ok := c.Get(drifted, sys, key, true)
+	if !ok {
+		t.Fatal("near-hit tier did not answer a trailing-drift resubmission")
+	}
+	if s.Algorithm != "flb-nearhit" {
+		t.Errorf("near hit labeled %q, want flb-nearhit", s.Algorithm)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("near hit does not validate: %v", err)
+	}
+	if s.Graph() != drifted {
+		t.Errorf("near hit is not bound to the submitted graph")
+	}
+	// Deterministic: the same lookup repairs to the same bytes.
+	s2, ok := c.Get(drifted, sys, key, true)
+	if !ok {
+		t.Fatal("near hit not repeatable")
+	}
+	if scheduleBytes(t, s) != scheduleBytes(t, s2) {
+		t.Errorf("repeated near hit differs")
+	}
+	st := c.Stats()
+	if st.NearHits != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 near hits and 0 exact hits", st)
+	}
+	// Near results are never inserted: the drifted Full key still misses
+	// the exact tier.
+	if _, ok := c.Get(drifted, sys, key, false); ok {
+		t.Errorf("near-hit result was inserted into the exact tier")
+	}
+}
+
+func TestCacheNearHitGating(t *testing.T) {
+	sys := machine.NewSystem(4)
+
+	// Tier disabled: the drifted lookup misses.
+	c := NewCache(4)
+	g := memoGraph(8, 60)
+	drifted := nearHitProblem(t, c, g, sys)
+	if _, ok := c.Get(drifted, sys, KeyOf(drifted, sys, "flb", 1), true); ok {
+		t.Errorf("near tier answered while disabled")
+	}
+	// Tier enabled but the caller forbids it (the batch path).
+	c.EnableNearHit(true)
+	if _, ok := c.Get(drifted, sys, KeyOf(drifted, sys, "flb", 1), false); ok {
+		t.Errorf("near tier answered an allowNear=false lookup")
+	}
+	// A drift touching the first-placed task leaves no reusable prefix.
+	c2 := NewCache(4)
+	c2.EnableNearHit(true)
+	g2 := memoGraph(9, 60)
+	base := coldSchedule(t, g2, sys)
+	c2.Put(g2, sys, KeyOf(g2, sys, "flb", 1), base)
+	all := g2.Clone()
+	for tk := 0; tk < all.NumTasks(); tk++ {
+		all.SetComp(tk, g2.Comp(tk)*1.25)
+	}
+	all.Freeze()
+	if _, ok := c2.Get(all, sys, KeyOf(all, sys, "flb", 1), true); ok {
+		t.Errorf("near tier answered a drift with no reusable prefix")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	g := memoGraph(10, 25)
+	sys := machine.NewSystem(3)
+	key := KeyOf(g, sys, "flb", 1)
+	c := NewCache(2)
+	c.Put(g, sys, key, coldSchedule(t, g, sys))
+	c.Get(g, sys, key, false)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after Reset, want 0", c.Len())
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("stats = %+v after Reset, want zero", st)
+	}
+	if _, ok := c.Get(g, sys, key, false); ok {
+		t.Errorf("hit after Reset")
+	}
+	// The cache is reusable after Reset.
+	c.Put(g, sys, key, coldSchedule(t, g, sys))
+	if _, ok := c.Get(g, sys, key, false); !ok {
+		t.Errorf("miss after re-populating a Reset cache")
+	}
+}
+
+// TestCacheConcurrentSharedUse hammers one cache from many goroutines —
+// the batch engine's sharing pattern — and checks every hit stays
+// byte-identical to the cold run. Run with -race in CI.
+func TestCacheConcurrentSharedUse(t *testing.T) {
+	sys := machine.NewSystem(4)
+	const problems = 6
+	gs := make([]*graph.Graph, problems)
+	want := make([]string, problems)
+	keys := make([]Key, problems)
+	for i := range gs {
+		gs[i] = memoGraph(int64(20+i), 40)
+		want[i] = scheduleBytes(t, coldSchedule(t, gs[i], sys))
+		keys[i] = KeyOf(gs[i], sys, "flb", 1)
+	}
+	c := NewCache(4) // smaller than the problem set: evictions under contention
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := core.NewScheduler(core.FLB{})
+			for i := 0; i < 30; i++ {
+				j := (w + i) % problems
+				s, ok := c.Get(gs[j], sys, keys[j], false)
+				if !ok {
+					cold, err := sc.Schedule(gs[j], sys)
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					c.Put(gs[j], sys, keys[j], cold)
+					continue
+				}
+				var b strings.Builder
+				if err := s.WriteJSON(&b); err != nil {
+					errs <- err.Error()
+					return
+				}
+				if b.String() != want[j] {
+					errs <- "concurrent hit differs from cold run"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -1,0 +1,231 @@
+package memo
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+// memoGraph builds a frozen random DAG with randomized weights.
+func memoGraph(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := workload.GNPDag(rng, n, 0.3)
+	workload.RandomizeWeights(g, rng, nil, 1)
+	g.Freeze()
+	return g
+}
+
+func TestKeyOfDeterministic(t *testing.T) {
+	g := memoGraph(1, 40)
+	sys := machine.NewSystem(4)
+	k1 := KeyOf(g, sys, "flb", 7)
+	k2 := KeyOf(g, sys, "flb", 7)
+	if k1 != k2 {
+		t.Fatalf("same problem fingerprinted twice differs: %v vs %v", k1, k2)
+	}
+	// An identically rebuilt graph (fresh object, same content) and a
+	// clone must fingerprint identically: the key is the problem, not the
+	// object.
+	if k3 := KeyOf(memoGraph(1, 40), sys, "flb", 7); k3 != k1 {
+		t.Fatalf("rebuilt graph fingerprints differently: %v vs %v", k3, k1)
+	}
+	c := g.Clone()
+	c.Freeze()
+	if k4 := KeyOf(c, sys, "flb", 7); k4 != k1 {
+		t.Fatalf("cloned graph fingerprints differently: %v vs %v", k4, k1)
+	}
+}
+
+func TestKeyOfCanonicalization(t *testing.T) {
+	g := memoGraph(2, 30)
+	sys := machine.NewSystem(4)
+	base := KeyOf(g, sys, "flb", 1)
+	// Empty and case-folded algorithm names mean the facade default.
+	if k := KeyOf(g, sys, "", 1); k != base {
+		t.Errorf("empty algorithm name does not canonicalize to flb")
+	}
+	if k := KeyOf(g, sys, "FLB", 1); k != base {
+		t.Errorf("algorithm name is not case-folded")
+	}
+	// A nil communication model means Clique (machine.System.CommCost).
+	if k := KeyOf(g, machine.System{P: 4}, "flb", 1); k != base {
+		t.Errorf("nil comm model does not fingerprint as clique")
+	}
+	// Graph and task names do not influence placement and are not hashed:
+	// a renamed resubmission is the same problem.
+	c := g.Clone()
+	c.Name = "renamed"
+	c.Freeze()
+	if k := KeyOf(c, sys, "flb", 1); k != base {
+		t.Errorf("renamed graph fingerprints differently")
+	}
+}
+
+// TestKeyOfSensitivity mutates one input at a time and checks which of
+// the two fingerprints must move: weight changes flip Full only (the
+// near-hit tier depends on Shape surviving them), everything else flips
+// both.
+func TestKeyOfSensitivity(t *testing.T) {
+	g := memoGraph(3, 40)
+	sys := machine.NewSystem(4)
+	base := KeyOf(g, sys, "flb", 1)
+
+	mutate := func(f func(c *graph.Graph)) Key {
+		c := g.Clone()
+		f(c)
+		c.Freeze()
+		return KeyOf(c, sys, "flb", 1)
+	}
+
+	if k := mutate(func(c *graph.Graph) { c.SetComp(7, c.Comp(7)+0.5) }); k.Full == base.Full {
+		t.Errorf("computation weight change did not move Full")
+	} else if k.Shape != base.Shape {
+		t.Errorf("computation weight change moved Shape")
+	}
+	if k := mutate(func(c *graph.Graph) { c.SetComm(0, c.Edge(0).Comm+0.5) }); k.Full == base.Full {
+		t.Errorf("communication weight change did not move Full")
+	} else if k.Shape != base.Shape {
+		t.Errorf("communication weight change moved Shape")
+	}
+	if k := mutate(func(c *graph.Graph) { c.AddEdge(0, c.NumTasks()-1, 1) }); k.Full == base.Full || k.Shape == base.Shape {
+		t.Errorf("added edge did not move both fingerprints")
+	}
+	if k := mutate(func(c *graph.Graph) { c.AddTask(1) }); k.Full == base.Full || k.Shape == base.Shape {
+		t.Errorf("added task did not move both fingerprints")
+	}
+	if k := KeyOf(g, machine.NewSystem(8), "flb", 1); k.Full == base.Full || k.Shape == base.Shape {
+		t.Errorf("processor count change did not move both fingerprints")
+	}
+	lb := machine.System{P: 4, Comm: machine.LatencyBandwidth{Latency: 1, Bandwidth: 2}}
+	if k := KeyOf(g, lb, "flb", 1); k.Full == base.Full || k.Shape == base.Shape {
+		t.Errorf("communication model change did not move both fingerprints")
+	}
+	if k := KeyOf(g, sys, "flb", 2); k.Full == base.Full || k.Shape == base.Shape {
+		t.Errorf("seed change did not move both fingerprints")
+	}
+	if k := KeyOf(g, sys, "mcp", 1); k.Full == base.Full || k.Shape == base.Shape {
+		t.Errorf("algorithm change did not move both fingerprints")
+	}
+}
+
+// TestKeyOfWindowPermutation: KeyOf hashes per-task predecessor windows,
+// so any edge insertion order producing the same windows — the only
+// structure the schedulers observe — fingerprints identically, while
+// permuting edges *within* a window does not.
+func TestKeyOfWindowPermutation(t *testing.T) {
+	build := func(edges [][3]float64) *graph.Graph {
+		g := graph.New("perm")
+		for i := 0; i < 4; i++ {
+			g.AddTask(float64(i + 1))
+		}
+		for _, e := range edges {
+			g.AddEdge(int(e[0]), int(e[1]), e[2])
+		}
+		g.Freeze()
+		return g
+	}
+	sys := machine.NewSystem(2)
+	// Diamond 0→{1,2}→3. Swapping the order of edges that target
+	// different tasks leaves every window unchanged.
+	a := build([][3]float64{{0, 1, 5}, {0, 2, 6}, {1, 3, 7}, {2, 3, 8}})
+	b := build([][3]float64{{0, 2, 6}, {0, 1, 5}, {1, 3, 7}, {2, 3, 8}})
+	if KeyOf(a, sys, "flb", 1) != KeyOf(b, sys, "flb", 1) {
+		t.Errorf("window-preserving edge permutation changed the fingerprint")
+	}
+	// Swapping the two in-edges of task 3 permutes its window.
+	c := build([][3]float64{{0, 1, 5}, {0, 2, 6}, {2, 3, 8}, {1, 3, 7}})
+	if KeyOf(a, sys, "flb", 1) == KeyOf(c, sys, "flb", 1) {
+		t.Errorf("within-window permutation did not change the fingerprint")
+	}
+}
+
+// TestKeyOfZeroAlloc pins the hot-path contract: fingerprinting a frozen
+// graph allocates nothing (flblint enforces the static side).
+func TestKeyOfZeroAlloc(t *testing.T) {
+	g := memoGraph(4, 200)
+	sys := machine.NewSystem(8)
+	KeyOf(g, sys, "flb", 1) // warm up (adjacency is built by Freeze already)
+	if avg := testing.AllocsPerRun(100, func() {
+		KeyOf(g, sys, "flb", 1)
+	}); avg != 0 {
+		t.Errorf("KeyOf allocates %.1f/run on a frozen graph, want 0", avg)
+	}
+}
+
+// TestKeyOfCollisionSweep fingerprints 50k distinct random problems and
+// requires zero Full collisions. Shape collisions across problems that
+// share a structure are correct behavior and not counted.
+func TestKeyOfCollisionSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collision sweep is long; run without -short")
+	}
+	const sweep = 50000
+	rng := rand.New(rand.NewSource(99))
+	sys := machine.NewSystem(4)
+	seen := make(map[Fingerprint]int, sweep)
+	for i := 0; i < sweep; i++ {
+		g := workload.GNPDag(rng, 8+i%13, 0.3)
+		workload.RandomizeWeights(g, rng, nil, 1)
+		g.Freeze()
+		k := KeyOf(g, sys, "flb", 1)
+		if j, dup := seen[k.Full]; dup {
+			t.Fatalf("Full fingerprint collision between sweep instances %d and %d: %v", j, i, k.Full)
+		}
+		seen[k.Full] = i
+	}
+}
+
+// FuzzFingerprint drives the sensitivity contract from fuzzed inputs:
+// mutating a single weight must flip Full and leave Shape; mutating a
+// single window entry must flip both.
+func FuzzFingerprint(f *testing.F) {
+	f.Add(int64(1), uint16(0), false)
+	f.Add(int64(2), uint16(3), true)
+	f.Add(int64(-77), uint16(9999), false)
+	f.Fuzz(func(t *testing.T, seed int64, idx uint16, comm bool) {
+		g := memoGraph(seed, 10+int(uint8(seed))%30)
+		sys := machine.NewSystem(3)
+		base := KeyOf(g, sys, "flb", 1)
+		c := g.Clone()
+		if comm && c.NumEdges() > 0 {
+			ei := int(idx) % c.NumEdges()
+			c.SetComm(ei, c.Edge(ei).Comm+1.25)
+		} else {
+			ti := int(idx) % c.NumTasks()
+			c.SetComp(ti, c.Comp(ti)+1.25)
+		}
+		c.Freeze()
+		k := KeyOf(c, sys, "flb", 1)
+		if k.Full == base.Full {
+			t.Errorf("single weight mutation did not move Full")
+		}
+		if k.Shape != base.Shape {
+			t.Errorf("weight mutation moved Shape")
+		}
+		// Rebuilding the mutated graph from scratch reproduces its key.
+		r := c.Clone()
+		r.Freeze()
+		if KeyOf(r, sys, "flb", 1) != k {
+			t.Errorf("rebuilt mutated graph fingerprints differently")
+		}
+	})
+}
+
+// BenchmarkKeyOf measures the fingerprint walk at the Fig. 2 scale the
+// warm tier's speedup target is stated for.
+func BenchmarkKeyOf(b *testing.B) {
+	g, err := workload.Instance("lu", 2000, 0.2, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Freeze()
+	sys := machine.NewSystem(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KeyOf(g, sys, "flb", 1)
+	}
+}

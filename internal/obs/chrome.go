@@ -240,7 +240,10 @@ func (c *ChromeTrace) Repair(e RepairEvent) {
 }
 
 // Scheduler decision events have no timeline; see the type comment.
+// Cache snapshots likewise carry no timestamp, and rendering them would
+// break the exporter's byte-determinism only to show a counter dump.
 func (c *ChromeTrace) SchedStep(SchedStep)     {}
 func (c *ChromeTrace) TaskReady(TaskReady)     {}
 func (c *ChromeTrace) TaskDemoted(TaskDemoted) {}
+func (c *ChromeTrace) CacheStats(CacheStats)   {}
 func (c *ChromeTrace) End(End)                 {}

@@ -103,6 +103,11 @@ type Metrics struct {
 	RetryDelay  float64
 	RepairSize  Hist // pending tasks per repair epoch
 	RepairNanos Hist // wall-clock repair cost
+
+	// Cache is the latest schedule-cache snapshot observed. CacheStats
+	// events carry cumulative counters, so the sink keeps the last one
+	// rather than summing.
+	Cache CacheStats
 }
 
 // NewMetrics returns an empty metrics sink.
@@ -190,6 +195,8 @@ func (m *Metrics) Repair(e RepairEvent) {
 	m.RepairNanos.Observe(float64(e.WallNanos))
 }
 
+func (m *Metrics) CacheStats(e CacheStats) { m.Cache = e }
+
 func (m *Metrics) End(e End) {
 	if e.Makespan > m.Makespan {
 		m.Makespan = e.Makespan
@@ -216,6 +223,12 @@ func (m *Metrics) String() string {
 	if m.Crashes > 0 || m.Repairs > 0 {
 		fmt.Fprintf(&b, "faults      %d crashes, %d repairs (pending %s), %d retries (+%.3g delay)\n",
 			m.Crashes, m.Repairs, m.RepairSize.String(), m.Retries, m.RetryDelay)
+	}
+	if m.Cache.Gets > 0 || m.Cache.Puts > 0 {
+		fmt.Fprintf(&b, "cache       %d gets (%d hits, %d near, %d misses), %d puts, %d evictions, %d/%d entries\n",
+			m.Cache.Gets, m.Cache.Hits, m.Cache.NearHits,
+			m.Cache.Gets-m.Cache.Hits-m.Cache.NearHits,
+			m.Cache.Puts, m.Cache.Evictions, m.Cache.Len, m.Cache.Cap)
 	}
 	return b.String()
 }

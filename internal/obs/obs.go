@@ -198,6 +198,21 @@ type RepairEvent struct {
 	WallNanos int64
 }
 
+// CacheStats is a snapshot of a schedule cache's cumulative counters
+// (internal/memo), emitted by the facade once per cached observed run —
+// and once per batch — after the scheduling work, from the caller's
+// goroutine. The counters are cumulative over the cache's lifetime, so a
+// consumer keeps the latest snapshot rather than summing events.
+type CacheStats struct {
+	Gets      int64
+	Hits      int64
+	NearHits  int64
+	Puts      int64
+	Evictions int64
+	// Len and Cap are the cache's current and maximum entry counts.
+	Len, Cap int
+}
+
 // Sink receives the event stream of one or more observed runs. All
 // methods take concrete struct arguments (never interfaces) so emission
 // sites do not box; see the package comment for the full contract.
@@ -215,6 +230,7 @@ type Sink interface {
 	MessageRetry(e Message)
 	Crash(e CrashEvent)
 	Repair(e RepairEvent)
+	CacheStats(e CacheStats)
 	End(e End)
 }
 
@@ -233,6 +249,7 @@ func (NopSink) MessageArrive(Message)   {}
 func (NopSink) MessageRetry(Message)    {}
 func (NopSink) Crash(CrashEvent)        {}
 func (NopSink) Repair(RepairEvent)      {}
+func (NopSink) CacheStats(CacheStats)   {}
 func (NopSink) End(End)                 {}
 
 // tee fans every event out to two sinks in order.
@@ -262,4 +279,5 @@ func (t *tee) MessageArrive(e Message)   { t.a.MessageArrive(e); t.b.MessageArri
 func (t *tee) MessageRetry(e Message)    { t.a.MessageRetry(e); t.b.MessageRetry(e) }
 func (t *tee) Crash(e CrashEvent)        { t.a.Crash(e); t.b.Crash(e) }
 func (t *tee) Repair(e RepairEvent)      { t.a.Repair(e); t.b.Repair(e) }
+func (t *tee) CacheStats(e CacheStats)   { t.a.CacheStats(e); t.b.CacheStats(e) }
 func (t *tee) End(e End)                 { t.a.End(e); t.b.End(e) }

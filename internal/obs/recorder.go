@@ -14,6 +14,7 @@ const (
 	evCrash
 	evRepair
 	evEnd
+	evCacheStats
 )
 
 // Recorder is the in-memory sink: it stores every event in typed arenas
@@ -46,6 +47,7 @@ type Recorder struct {
 	retries  []Message
 	crashes  []CrashEvent
 	repairs  []RepairEvent
+	caches   []CacheStats
 	ends     []End
 }
 
@@ -66,6 +68,7 @@ func (r *Recorder) Reset() {
 	r.retries = r.retries[:0]
 	r.crashes = r.crashes[:0]
 	r.repairs = r.repairs[:0]
+	r.caches = r.caches[:0]
 	r.ends = r.ends[:0]
 }
 
@@ -74,7 +77,7 @@ func (r *Recorder) Len() int { return len(r.log) }
 
 // Replay feeds the recorded stream into s in arrival order.
 func (r *Recorder) Replay(s Sink) {
-	var ib, is, ir, id, it, if_, ims, ima, imr, ic, irp, ie int
+	var ib, is, ir, id, it, if_, ims, ima, imr, ic, irp, ics, ie int
 	for _, k := range r.log {
 		switch k {
 		case evBegin:
@@ -110,6 +113,9 @@ func (r *Recorder) Replay(s Sink) {
 		case evRepair:
 			s.Repair(r.repairs[irp])
 			irp++
+		case evCacheStats:
+			s.CacheStats(r.caches[ics])
+			ics++
 		case evEnd:
 			s.End(r.ends[ie])
 			ie++
@@ -188,6 +194,11 @@ func (r *Recorder) Crash(e CrashEvent) {
 func (r *Recorder) Repair(e RepairEvent) {
 	r.log = append(r.log, evRepair)
 	r.repairs = append(r.repairs, e)
+}
+
+func (r *Recorder) CacheStats(e CacheStats) {
+	r.log = append(r.log, evCacheStats)
+	r.caches = append(r.caches, e)
 }
 
 func (r *Recorder) End(e End) {

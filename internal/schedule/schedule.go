@@ -229,22 +229,61 @@ func (s *Schedule) EST(t int, p machine.Proc) float64 {
 	return math.Max(s.DataReady(t, p), s.prt[p])
 }
 
+// CloneFor returns a deep copy of s rebound to g and sys: the copy's
+// placements, times and orders are s's, but its graph and system are the
+// caller's. The schedule cache uses it to hand a hit back bound to the
+// submitted graph object (which may differ from the cached run's graph in
+// identity and naming, never in structure or weights — the fingerprint
+// guarantees that), so downstream consumers (export, execution) read the
+// caller's names and communication model. g must have the same task count
+// as the cloned schedule and sys the same processor count.
+func (s *Schedule) CloneFor(g *graph.Graph, sys machine.System) *Schedule {
+	if g.NumTasks() != len(s.proc) {
+		panic(fmt.Sprintf("schedule: CloneFor graph has %d tasks, schedule has %d", g.NumTasks(), len(s.proc)))
+	}
+	if sys.P != s.sys.P {
+		panic(fmt.Sprintf("schedule: CloneFor system has P=%d, schedule has P=%d", sys.P, s.sys.P))
+	}
+	ns := s.Clone()
+	ns.g = g
+	ns.sys = sys
+	return ns
+}
+
 // Clone returns a deep copy of the schedule (sharing the immutable graph).
+// The copy's slices come from a few consolidated backing arrays rather
+// than one allocation per field and per processor — clones are the unit
+// the schedule cache hands out on every hit, so clone cost is warm-hit
+// cost. The per-processor order slices are capacity-clipped, so appending
+// to one (a further Place on the clone) reallocates it instead of
+// clobbering its neighbor.
 func (s *Schedule) Clone() *Schedule {
+	n, np := len(s.proc), len(s.order)
+	fbuf := make([]float64, 2*n+np)
 	ns := &Schedule{
 		Algorithm: s.Algorithm,
 		g:         s.g,
 		sys:       s.sys,
-		proc:      append([]machine.Proc(nil), s.proc...),
-		start:     append([]float64(nil), s.start...),
-		finish:    append([]float64(nil), s.finish...),
-		order:     make([][]int, len(s.order)),
-		prt:       append([]float64(nil), s.prt...),
+		proc:      append(make([]machine.Proc, 0, n), s.proc...),
+		start:     fbuf[:n:n],
+		finish:    fbuf[n : 2*n : 2*n],
+		order:     make([][]int, np),
+		prt:       fbuf[2*n:],
 		placed:    s.placed,
-		seq:       append([]int(nil), s.seq...),
+		seq:       append(make([]int, 0, len(s.seq)), s.seq...),
 	}
+	copy(ns.start, s.start)
+	copy(ns.finish, s.finish)
+	copy(ns.prt, s.prt)
+	total := 0
 	for p := range s.order {
-		ns.order[p] = append([]int(nil), s.order[p]...)
+		total += len(s.order[p])
+	}
+	obuf := make([]int, 0, total)
+	for p := range s.order {
+		at := len(obuf)
+		obuf = append(obuf, s.order[p]...)
+		ns.order[p] = obuf[at:len(obuf):len(obuf)]
 	}
 	if s.dups != nil {
 		ns.dups = make(map[int][]Copy, len(s.dups))

@@ -10,6 +10,7 @@ import (
 	"flb/internal/core"
 	"flb/internal/fault"
 	"flb/internal/machine"
+	"flb/internal/memo"
 	"flb/internal/obs"
 	"flb/internal/sim"
 )
@@ -36,6 +37,9 @@ type (
 	// StepRecorder reconstructs the paper's Table 1 Steps from the
 	// scheduler's event stream.
 	StepRecorder = core.StepRecorder
+	// CacheStats is the schedule-cache counter snapshot event emitted to
+	// observers after cached runs (see WithCache).
+	CacheStats = obs.CacheStats
 )
 
 // NewRecorder returns an empty in-memory event recorder.
@@ -72,6 +76,7 @@ type Options struct {
 	observer  Observer
 	ctx       context.Context
 	workers   int
+	cache     *memo.Cache
 }
 
 // Option configures one knob; pass any number to Run, RunOn or Execute.
@@ -163,13 +168,42 @@ func Run(g *Graph, p int, opts ...Option) (*Schedule, error) {
 func RunOn(g *Graph, sys System, opts ...Option) (*Schedule, error) {
 	o := buildOptions(opts)
 	if o.algorithm == "" || strings.EqualFold(o.algorithm, "flb") {
-		return core.FLB{Sink: o.observer}.Schedule(g, sys)
+		if o.cache == nil {
+			return core.FLB{Sink: o.observer}.Schedule(g, sys)
+		}
+		return runCached(g, sys, &o)
 	}
 	a, err := NewAlgorithm(o.algorithm, o.seed)
 	if err != nil {
 		return nil, err
 	}
 	return a.Schedule(g, sys)
+}
+
+// runCached is the FLB path of RunOn behind WithCache: look the problem
+// up by fingerprint (exact tier always; near-hit tier when the cache has
+// it enabled), fall back to a cold run and insert the result. Observed
+// runs skip the lookup — the observer's contract is the cold run's full
+// decision stream, which a hit cannot replay — but still insert, and
+// receive one CacheStats snapshot after the run. Lookups and insertions
+// deliberately skip CheckInputs: a cold run reports identical errors,
+// and nothing is inserted on failure.
+func runCached(g *Graph, sys System, o *Options) (*Schedule, error) {
+	key := memo.KeyOf(g, sys, "flb", o.seed)
+	if o.observer == nil {
+		if s, ok := o.cache.Get(g, sys, key, true); ok {
+			return s, nil
+		}
+	}
+	s, err := core.FLB{Sink: o.observer}.Schedule(g, sys)
+	if err != nil {
+		return nil, err
+	}
+	o.cache.Put(g, sys, key, s)
+	if o.observer != nil {
+		o.observer.CacheStats(o.cache.StatsEvent())
+	}
+	return s, nil
 }
 
 // ExecResult is the outcome of an Execute run. The fault bookkeeping
