@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all lint fmt vet flblint build test race fuzz bench throughput cache trace clean
+.PHONY: all lint fmt vet flblint lint-fix-check build test race fuzz bench throughput cache trace clean
 
 all: lint build test
 
@@ -18,6 +18,16 @@ vet:
 
 flblint:
 	$(GO) run ./cmd/flblint ./...
+
+# Assert the tree carries zero unjustified or stale //flb: suppressions:
+# suppressing directives must carry a justification (the analyzers report
+# "needs a justification" where one is consulted without text) and must
+# still suppress something (staledirective reports the leftovers and any
+# misspelled names).
+lint-fix-check:
+	@out=$$($(GO) run ./cmd/flblint ./... | grep -E 'needs a justification|stale //flb:|unknown directive' || true); \
+	if [ -n "$$out" ]; then \
+		echo "unjustified or stale //flb: suppressions:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

@@ -245,6 +245,7 @@ type timedRepairer struct {
 	cost *time.Duration
 }
 
+//flb:wallclock measures real repair cost for the deadline budget of RunContext
 func (t timedRepairer) Repair(req *fault.Request) error {
 	start := time.Now()
 	err := t.r.Repair(req)

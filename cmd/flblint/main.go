@@ -1,18 +1,32 @@
-// Command flblint machine-checks the module's determinism, zero-alloc
-// and arena-reuse invariants with the analyzer suite of internal/lint:
+// Command flblint machine-checks the module's determinism, zero-alloc,
+// arena-reuse and concurrency invariants with the analyzer suite of
+// internal/lint, nine analyzers over a shared transitive call graph:
 //
 //	nomapiter      no range-over-map / multi-ready select in
 //	               determinism-critical packages
 //	resetcomplete  pooled arena types fully reinitialize in Reset
-//	hotpathalloc   //flb:hotpath functions stay allocation-free
+//	hotpathalloc   //flb:hotpath functions and everything they reach
+//	               stay allocation-free
 //	floatcmp       no exact float comparison of computed schedule times
+//	seedflow       RNG seeds flow from sim.DeriveSeed or declared seed
+//	               values; no math/rand global state, no time-derived
+//	               or arithmetic seeds
+//	walltime       wall-clock reads live in //flb:wallclock shells;
+//	               deterministic packages may not reach the clock at all
+//	guardedby      //flb:guarded-by fields are only touched where the
+//	               named mutex is held on every path from every caller
+//	sinkpure       code reachable from obs.Sink emissions never mutates
+//	               scheduler state or package-level variables
+//	staledirective unknown //flb: names and directives no analyzer
+//	               consulted are reported as rot
 //
 // Usage:
 //
 //	flblint [-C dir] [-only analyzer] [packages]
 //
 // Packages default to ./... and are resolved by the go tool. The exit
-// status is 1 when findings are reported, 2 on usage or load errors.
+// status is 0 when the tree is clean, 1 when findings are reported, and
+// 2 on usage or load errors.
 package main
 
 import (

@@ -52,10 +52,23 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"nomapiter", "resetcomplete", "hotpathalloc", "floatcmp"} {
+	for _, name := range []string{
+		"nomapiter", "resetcomplete", "hotpathalloc", "floatcmp",
+		"seedflow", "walltime", "guardedby", "sinkpure", "staledirective",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
+	}
+}
+
+// TestLoadFailureExitTwo points flblint at a fixture whose import names
+// a package that does not exist: load failures are exit 2, so CI can
+// tell a broken build from a dirty tree.
+func TestLoadFailureExitTwo(t *testing.T) {
+	code, _ := capture(t, []string{"-C", "testdata", "./broken"})
+	if code != 2 {
+		t.Errorf("load failure exited %d, want 2", code)
 	}
 }
 

@@ -1,0 +1,6 @@
+// Package broken cannot load: its import names a package that does not
+// exist anywhere in the module. The exit-code test points flblint at it
+// and expects status 2 — a load failure, distinct from findings.
+package broken
+
+import _ "flb/no/such/package"

@@ -16,6 +16,7 @@ import (
 	"flb"
 )
 
+//flb:wallclock example CLI reports real scheduling latency next to makespans
 func main() {
 	targetV := flag.Int("v", 500, "approximate task count per instance")
 	procs := flag.Int("procs", 8, "number of processors")

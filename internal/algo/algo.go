@@ -51,6 +51,8 @@ func CheckInputs(g *graph.Graph, sys machine.System) error {
 // list scheduling. It is shared by every algorithm in the module. The zero
 // value is usable after Reset; scheduler arenas embed it by value and
 // Reset it per run to avoid reallocation.
+//
+//flb:pooled embedded by value in scheduler arenas and Reset per run
 type ReadyTracker struct {
 	g       *graph.Graph
 	pending []int // unscheduled predecessor count per task

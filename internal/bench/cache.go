@@ -73,6 +73,8 @@ func scheduleJSON(s *schedule.Schedule) (string, error) {
 // CacheSweep measures cold, warm and near-hit scheduling latency and the
 // mixed request streams. Serial by design: the samples are per-request
 // latencies, and the determinism assertions want a stable cold baseline.
+//
+//flb:wallclock measurement shell: times cold/warm/near lookups on the host clock
 func CacheSweep(cfg Config) (*CacheResult, error) {
 	cfg = cfg.withDefaults()
 	insts, err := cfg.instances()
@@ -221,6 +223,8 @@ func CacheSweep(cfg Config) (*CacheResult, error) {
 
 // cacheMix runs one repeat-rate request stream against a freshly warmed
 // cache and summarizes per-request latency and the stream's hit rate.
+//
+//flb:wallclock measurement shell: times per-request latency on the host clock
 func (c Config) cacheMix(sc *core.Scheduler, sys machine.System, insts []instance, repeatPct int) (*CacheMix, error) {
 	cache := memo.NewCache(2 * (len(insts) + cacheMixLen))
 	for _, in := range insts {

@@ -128,8 +128,8 @@ func FaultSweep(cfg Config, p int, crashCounts []int, draws int) (*FaultSweepRes
 				// The scenario rng depends only on (seed, scenario,
 				// instance, draw): every algorithm faces the same
 				// processors crashing at the same relative times.
-				rng := rand.New(rand.NewSource(cfg.BaseSeed +
-					int64(1e9)*int64(sc.Crashes) + int64(1e6)*int64(ii) + int64(d) + boolSeed(sc.Lossy)))
+				seed := scenarioSeed(cfg.BaseSeed, sc, ii, d)
+				rng := rand.New(rand.NewSource(seed))
 				plan := fault.Plan{Repair: fault.ModeReschedule}
 				for _, q := range rng.Perm(p)[:sc.Crashes] {
 					plan.Crashes = append(plan.Crashes, fault.Crash{
@@ -189,7 +189,8 @@ func FaultSweep(cfg Config, p int, crashCounts []int, draws int) (*FaultSweepRes
 		re.Observe(cfg.Observer)
 		choose := func(fault.Crash, int) (fault.Repairer, error) { return re, nil }
 		sc := scenarios[0]
-		rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(1e9)*int64(sc.Crashes) + boolSeed(sc.Lossy)))
+		seed := scenarioSeed(cfg.BaseSeed, sc, 0, 0)
+		rng := rand.New(rand.NewSource(seed))
 		plan := fault.Plan{Repair: fault.ModeReschedule}
 		for _, q := range rng.Perm(p)[:sc.Crashes] {
 			plan.Crashes = append(plan.Crashes, fault.Crash{
@@ -204,11 +205,21 @@ func FaultSweep(cfg Config, p int, crashCounts []int, draws int) (*FaultSweepRes
 	return res, nil
 }
 
-func boolSeed(b bool) int64 {
-	if b {
-		return 1 << 40
+// scenarioSeed derives the crash-plan seed of one (scenario, instance,
+// draw) cell by chaining sim.DeriveSeed over the cell's coordinates.
+// Like instanceSeed, the result depends only on the coordinates — never
+// on the cell's position in the sweep — so distinct cells cannot collide
+// the way the old additive formula (BaseSeed + 1e9·crashes + 1e6·inst +
+// draw) did once any term outgrew its allotted decimal range.
+func scenarioSeed(base int64, sc FaultScenario, inst, draw int) int64 {
+	seed := sim.DeriveSeed(base, uint64(sc.Crashes))
+	seed = sim.DeriveSeed(seed, uint64(inst))
+	seed = sim.DeriveSeed(seed, uint64(draw))
+	lossy := uint64(1)
+	if sc.Lossy {
+		lossy = 2
 	}
-	return 0
+	return sim.DeriveSeed(seed, lossy)
 }
 
 // Format renders the fault-tolerance table: algorithms × scenarios, mean

@@ -27,6 +27,8 @@ type Fig2Result struct {
 // Fig2 measures scheduling running times. Absolute values depend on the
 // host; the reproduced shape is the *ordering* (ETF ≫ MCP ≫ FLB ≈ FCP,
 // DSC-LLB flat) and the growth trends with P.
+//
+//flb:wallclock measurement shell: times Schedule calls on the host clock
 func Fig2(cfg Config) (*Fig2Result, error) {
 	cfg = cfg.withDefaults()
 	insts, err := cfg.instances()

@@ -25,6 +25,11 @@ type RobustResult struct {
 	Slowdown map[string]map[float64]stats.Summary
 }
 
+// robustJitterStream is the sim.DeriveSeed stream of the robustness
+// sweep's execution jitter, decorrelating it from the workload streams
+// derived from the same BaseSeed.
+const robustJitterStream uint64 = 7
+
 // Robust runs the robustness experiment at the given processor count
 // (0 means 8) and jitter levels (nil means 0, 0.1, 0.3, 0.5), with `draws`
 // simulated executions per schedule (0 means 5).
@@ -64,7 +69,7 @@ func Robust(cfg Config, p int, epsilons []float64, draws int) (*RobustResult, er
 		res.Slowdown[a.Name()] = map[float64]stats.Summary{}
 		for _, eps := range epsilons {
 			var ratios []float64
-			rng := rand.New(rand.NewSource(cfg.BaseSeed + 7))
+			rng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.BaseSeed, robustJitterStream)))
 			for _, in := range insts {
 				s, err := a.Schedule(in.g, sys)
 				if err != nil {

@@ -27,6 +27,8 @@ type ScalingResult struct {
 
 // Scaling measures scheduling cost on LU instances of growing size at the
 // given processor count. reps instances per size are averaged.
+//
+//flb:wallclock measurement shell: times Schedule calls on the host clock
 func Scaling(algNames []string, sizes []int, p, reps int, baseSeed int64) (*ScalingResult, error) {
 	if len(algNames) == 0 {
 		algNames = []string{"flb", "fcp", "mcp", "etf"}

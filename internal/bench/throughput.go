@@ -34,6 +34,8 @@ type ThroughputResult struct {
 // tiled to at least 64 jobs — onto the largest configured machine. Every
 // pool is warmed up before timing so arena growth is excluded, exactly
 // the steady state a long-running service reaches.
+//
+//flb:wallclock measurement shell: times whole batches on the host clock
 func Throughput(cfg Config, workerCounts []int) (*ThroughputResult, error) {
 	cfg = cfg.withDefaults()
 	if len(workerCounts) == 0 {

@@ -165,8 +165,8 @@ func (g *Graph) ensureAdj() {
 		return
 	}
 	v, e := len(g.tasks), len(g.edges)
-	g.succOff = make([]int, v+1)
-	g.predOff = make([]int, v+1)
+	g.succOff = make([]int, v+1) //flb:alloc-ok amortized lazy CSR build, runs once per mutation epoch, not per query
+	g.predOff = make([]int, v+1) //flb:alloc-ok amortized lazy CSR build, runs once per mutation epoch, not per query
 	for _, ed := range g.edges {
 		g.succOff[ed.From+1]++
 		g.predOff[ed.To+1]++
@@ -175,12 +175,12 @@ func (g *Graph) ensureAdj() {
 		g.succOff[i+1] += g.succOff[i]
 		g.predOff[i+1] += g.predOff[i]
 	}
-	g.succAdj = make([]int, e)
-	g.predAdj = make([]int, e)
+	g.succAdj = make([]int, e) //flb:alloc-ok amortized lazy CSR build, runs once per mutation epoch, not per query
+	g.predAdj = make([]int, e) //flb:alloc-ok amortized lazy CSR build, runs once per mutation epoch, not per query
 	// next cursors: reuse the packed arrays' headroom via local copies of
 	// the offsets, so the fill stays a single linear pass.
-	nextS := make([]int, v)
-	nextP := make([]int, v)
+	nextS := make([]int, v) //flb:alloc-ok amortized lazy CSR build, runs once per mutation epoch, not per query
+	nextP := make([]int, v) //flb:alloc-ok amortized lazy CSR build, runs once per mutation epoch, not per query
 	copy(nextS, g.succOff[:v])
 	copy(nextP, g.predOff[:v])
 	for i, ed := range g.edges {

@@ -17,12 +17,20 @@ import (
 func RunTest(t *testing.T, testdata string, a *Analyzer, pkgPaths ...string) {
 	t.Helper()
 	loader := newTestdataLoader(testdata)
+	targets := make([]*Package, 0, len(pkgPaths))
 	for _, path := range pkgPaths {
 		pkg, err := loader.load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags := runPackage(pkg, []*Analyzer{a})
+		targets = append(targets, pkg)
+	}
+	// The program spans every loaded package — the targets and the
+	// testdata packages they imported — so the call-graph analyzers see
+	// the same cross-package edges they would in a real run.
+	prog := NewProgram(loader.loaded())
+	for _, pkg := range targets {
+		diags := runPackage(prog, pkg, []*Analyzer{a})
 		sortDiagnostics(diags)
 		checkWants(t, pkg, diags)
 	}

@@ -1,6 +1,18 @@
 package lint
 
 // All returns the full flblint analyzer suite in reporting order.
+// StaleDirective must come last: it reports the //flb: annotations the
+// other analyzers' lookups never consulted, so they run first.
 func All() []*Analyzer {
-	return []*Analyzer{NoMapIter, ResetComplete, HotPathAlloc, FloatCmp}
+	return []*Analyzer{
+		NoMapIter,
+		ResetComplete,
+		HotPathAlloc,
+		FloatCmp,
+		SeedFlow,
+		WallTime,
+		GuardedBy,
+		SinkPure,
+		StaleDirective,
+	}
 }

@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The call-graph engine gives analyzers a whole-program view: one
+// flblint invocation loads every matched package into a Program, and the
+// lazily built CallGraph links each declared function to its callees —
+// across function and package boundaries — so facts like "allocates",
+// "reads the wall clock" or "holds this mutex" propagate transitively
+// instead of stopping at the first call. That upgrade is what turns
+// hotpathalloc from a syntactic check of marked bodies into a
+// reachability check, and what makes walltime, guardedby and sinkpure
+// possible at all.
+//
+// Edges come in three flavors:
+//
+//   - static: the callee is a named function or a method on a concrete
+//     receiver, resolved through go/types;
+//   - dynamic: the callee is an interface method; class-hierarchy
+//     analysis resolves it to every in-program concrete method that
+//     implements the interface (an over-approximation, which is the safe
+//     direction for every analyzer built on the graph);
+//   - extern: the callee has no body in the program (standard library or
+//     export-data-only dependencies); recorded so analyzers can test
+//     predicates like "calls time.Now" at the frontier.
+//
+// Calls through plain function values are not resolved (no edge); bodies
+// of function literals are attributed to their enclosing declaration.
+
+// A Program is the full set of packages one lint invocation loaded,
+// indexed by import path, sharing one lazily built call graph.
+type Program struct {
+	Pkgs   []*Package
+	byPath map[string]*Package
+
+	cg *CallGraph
+}
+
+// NewProgram indexes the loaded packages (assumed sorted by path).
+func NewProgram(pkgs []*Package) *Program {
+	pr := &Program{Pkgs: pkgs, byPath: make(map[string]*Package, len(pkgs))}
+	for _, pkg := range pkgs {
+		pr.byPath[pkg.Path] = pkg
+	}
+	return pr
+}
+
+// Package returns the loaded package with the import path, or nil.
+func (pr *Program) Package(path string) *Package { return pr.byPath[path] }
+
+// A FuncInfo ties one declared function to its AST and owning package.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// CallGraph is the program's static-plus-CHA call graph over declared
+// functions.
+type CallGraph struct {
+	funcs map[*types.Func]*FuncInfo
+	nodes []*FuncInfo // deterministic declaration order
+
+	static  map[*types.Func][]*types.Func // resolved, in-program callees
+	dynamic map[*types.Func][]*types.Func // CHA-resolved interface callees
+	extern  map[*types.Func][]*types.Func // callees without in-program bodies
+	callers map[*types.Func][]*types.Func // reverse of static+dynamic
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (pr *Program) CallGraph() *CallGraph {
+	if pr.cg == nil {
+		pr.cg = buildCallGraph(pr)
+	}
+	return pr.cg
+}
+
+// Funcs returns every declared function in deterministic order.
+func (cg *CallGraph) Funcs() []*FuncInfo { return cg.nodes }
+
+// Info returns the declaration record of fn, or nil when fn has no body
+// in the program.
+func (cg *CallGraph) Info(fn *types.Func) *FuncInfo { return cg.funcs[fn] }
+
+// Callees returns fn's resolved in-program callees; withDynamic includes
+// the CHA-resolved interface targets.
+func (cg *CallGraph) Callees(fn *types.Func, withDynamic bool) []*types.Func {
+	if !withDynamic {
+		return cg.static[fn]
+	}
+	out := make([]*types.Func, 0, len(cg.static[fn])+len(cg.dynamic[fn]))
+	out = append(out, cg.static[fn]...)
+	out = append(out, cg.dynamic[fn]...)
+	return out
+}
+
+// Extern returns fn's callees that have no body in the program.
+func (cg *CallGraph) Extern(fn *types.Func) []*types.Func { return cg.extern[fn] }
+
+// Callers returns the functions with a static or dynamic edge to fn.
+func (cg *CallGraph) Callers(fn *types.Func) []*types.Func { return cg.callers[fn] }
+
+// Reachable returns the closure of roots under the callee relation
+// (including the roots themselves); withDynamic follows interface edges.
+func (cg *CallGraph) Reachable(roots []*types.Func, withDynamic bool) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var walk func(fn *types.Func)
+	walk = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, c := range cg.Callees(fn, withDynamic) {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return seen
+}
+
+// ReachableFrom is Reachable with per-node provenance: from[f] is the
+// function whose edge first discovered f (a parent pointer back toward
+// some root), letting analyzers name a witness path in diagnostics.
+func (cg *CallGraph) ReachableFrom(roots []*types.Func, withDynamic bool) map[*types.Func]*types.Func {
+	from := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := from[r]; ok {
+			continue
+		}
+		from[r] = nil
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, c := range cg.Callees(fn, withDynamic) {
+			if _, ok := from[c]; ok {
+				continue
+			}
+			from[c] = fn
+			queue = append(queue, c)
+		}
+	}
+	return from
+}
+
+// buildCallGraph walks every declared function body once, resolving call
+// expressions. Packages, files and declarations are visited in
+// deterministic order, and per-function edge lists preserve source order,
+// so diagnostics derived from the graph are stable across runs.
+func buildCallGraph(pr *Program) *CallGraph {
+	cg := &CallGraph{
+		funcs:   map[*types.Func]*FuncInfo{},
+		static:  map[*types.Func][]*types.Func{},
+		dynamic: map[*types.Func][]*types.Func{},
+		extern:  map[*types.Func][]*types.Func{},
+		callers: map[*types.Func][]*types.Func{},
+	}
+	for _, pkg := range pr.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				info := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				cg.funcs[obj] = info
+				cg.nodes = append(cg.nodes, info)
+			}
+		}
+	}
+	concrete := concreteTypes(pr)
+	for _, info := range cg.nodes {
+		collectCalls(cg, pr, info, concrete)
+	}
+	for _, info := range cg.nodes {
+		for _, c := range cg.Callees(info.Obj, true) {
+			cg.callers[c] = append(cg.callers[c], info.Obj)
+		}
+	}
+	for _, edges := range cg.callers {
+		sortFuncs(edges)
+	}
+	return cg
+}
+
+// concreteTypes lists every named non-interface type declared in the
+// program, in deterministic order, for class-hierarchy resolution.
+func concreteTypes(pr *Program) []*types.TypeName {
+	var out []*types.TypeName
+	for _, pkg := range pr.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok || types.IsInterface(tn.Type()) {
+						continue
+					}
+					out = append(out, tn)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectCalls records every resolvable call edge out of one function
+// body (function literals inside it included).
+func collectCalls(cg *CallGraph, pr *Program, info *FuncInfo, concrete []*types.TypeName) {
+	pkg := info.Pkg
+	seenStatic := map[*types.Func]bool{}
+	seenDyn := map[*types.Func]bool{}
+	seenExt := map[*types.Func]bool{}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if callee, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+				addEdge(cg, info.Obj, callee, seenStatic, seenExt)
+			}
+		case *ast.SelectorExpr:
+			callee, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+				// Interface dispatch: fan out to every in-program
+				// implementation of the interface's method.
+				for _, impl := range implementations(pr, cg, concrete, sel.Recv(), callee.Name()) {
+					if !seenDyn[impl] {
+						seenDyn[impl] = true
+						cg.dynamic[info.Obj] = append(cg.dynamic[info.Obj], impl)
+					}
+				}
+				return true
+			}
+			addEdge(cg, info.Obj, callee, seenStatic, seenExt)
+		}
+		return true
+	})
+}
+
+func addEdge(cg *CallGraph, from, to *types.Func, seenStatic, seenExt map[*types.Func]bool) {
+	if cg.funcs[to] != nil {
+		if !seenStatic[to] {
+			seenStatic[to] = true
+			cg.static[from] = append(cg.static[from], to)
+		}
+		return
+	}
+	if !seenExt[to] {
+		seenExt[to] = true
+		cg.extern[from] = append(cg.extern[from], to)
+	}
+}
+
+// implementations resolves an interface method to the concrete in-program
+// methods that could be behind it: for every declared non-interface type
+// whose value or pointer implements iface, the method with that name.
+func implementations(pr *Program, cg *CallGraph, concrete []*types.TypeName, recv types.Type, name string) []*types.Func {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, tn := range concrete {
+		t := tn.Type()
+		pt := types.NewPointer(t)
+		if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(pt, true, tn.Pkg(), name)
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if cg.funcs[m] == nil {
+			// The selected method may be promoted from an embedded field
+			// declared in another in-program type; LookupFieldOrMethod
+			// already followed the embedding, so a nil entry means the body
+			// really lives outside the program (or is an embedded
+			// interface) — no edge.
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func sortFuncs(fns []*types.Func) {
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].Pos() != fns[j].Pos() {
+			return fns[i].Pos() < fns[j].Pos()
+		}
+		return fns[i].FullName() < fns[j].FullName()
+	})
+}
+
+// PathString renders a witness chain from the provenance map of
+// ReachableFrom: the names of the frames from a root to fn, separated by
+// " -> ", capped to keep diagnostics readable.
+func (cg *CallGraph) PathString(from map[*types.Func]*types.Func, fn *types.Func) string {
+	var names []string
+	for f := fn; f != nil; f = from[f] {
+		names = append(names, shortFuncName(f))
+		if len(names) >= 6 {
+			break
+		}
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += " -> " + n
+	}
+	return out
+}
+
+// shortFuncName renders Recv.Name for methods and Name for functions.
+func shortFuncName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

@@ -42,8 +42,8 @@ func parseDirective(c *ast.Comment) (Directive, bool) {
 	return Directive{Name: name, Arg: strings.TrimSpace(arg), Pos: c.Slash}, true
 }
 
-func (p *Pass) fileFor(pos token.Pos) *ast.File {
-	for _, f := range p.Pkg.Files {
+func (pkg *Package) fileFor(pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
 		if f.FileStart <= pos && pos <= f.FileEnd {
 			return f
 		}
@@ -51,15 +51,15 @@ func (p *Pass) fileFor(pos token.Pos) *ast.File {
 	return nil
 }
 
-// DirectiveAt returns the named directive attached to the source line of
-// pos: on the line itself (a trailing comment) or on the line above.
-func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
-	f := p.fileFor(pos)
+// directiveAt is the raw line-attached lookup (no usage marking): the
+// named directive on the line of pos or the line above.
+func (pkg *Package) directiveAt(pos token.Pos, name string) (Directive, bool) {
+	f := pkg.fileFor(pos)
 	if f == nil {
 		return Directive{}, false
 	}
-	byLine := p.Pkg.directives[f]
-	line := p.Pkg.Fset.Position(pos).Line
+	byLine := pkg.directives[f]
+	line := pkg.Fset.Position(pos).Line
 	for _, l := range [2]int{line, line - 1} {
 		for _, d := range byLine[l] {
 			if d.Name == name {
@@ -68,6 +68,40 @@ func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
 		}
 	}
 	return Directive{}, false
+}
+
+// funcDirective is the raw function-level lookup (no usage marking):
+// anywhere in the doc comment, or line-attached to the declaration.
+func (pkg *Package) funcDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	if d, ok := directiveInGroup(fn.Doc, name); ok {
+		return d, true
+	}
+	return pkg.directiveAt(fn.Pos(), name)
+}
+
+// fieldDirective is the raw struct-field lookup (no usage marking): in
+// the field's doc comment, its trailing comment, or line-attached.
+func (pkg *Package) fieldDirective(field *ast.Field, name string) (Directive, bool) {
+	if d, ok := directiveInGroup(field.Doc, name); ok {
+		return d, true
+	}
+	if d, ok := directiveInGroup(field.Comment, name); ok {
+		return d, true
+	}
+	return pkg.directiveAt(field.Pos(), name)
+}
+
+// DirectiveAt returns the named directive attached to the source line of
+// pos: on the line itself (a trailing comment) or on the line above.
+// A hit marks the directive as used — analyzers only look directives up
+// at the constructs they govern, and staledirective reports the ones no
+// lookup ever touched.
+func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
+	d, ok := p.Pkg.directiveAt(pos, name)
+	if ok {
+		p.Pkg.useDirective(d.Pos)
+	}
+	return d, ok
 }
 
 // directiveInGroup scans a doc or trailing comment group.
@@ -87,6 +121,7 @@ func directiveInGroup(g *ast.CommentGroup, name string) (Directive, bool) {
 // anywhere in its doc comment, or line-attached to the declaration.
 func (p *Pass) FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
 	if d, ok := directiveInGroup(fn.Doc, name); ok {
+		p.Pkg.useDirective(d.Pos)
 		return d, true
 	}
 	return p.DirectiveAt(fn.Pos(), name)
@@ -95,13 +130,11 @@ func (p *Pass) FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
 // FieldDirective returns the named directive on a struct field: in its
 // doc comment, its trailing comment, or line-attached.
 func (p *Pass) FieldDirective(field *ast.Field, name string) (Directive, bool) {
-	if d, ok := directiveInGroup(field.Doc, name); ok {
-		return d, true
+	d, ok := p.Pkg.fieldDirective(field, name)
+	if ok {
+		p.Pkg.useDirective(d.Pos)
 	}
-	if d, ok := directiveInGroup(field.Comment, name); ok {
-		return d, true
-	}
-	return p.DirectiveAt(field.Pos(), name)
+	return d, ok
 }
 
 // TypeDirective returns the named directive on a type declaration,
@@ -109,10 +142,12 @@ func (p *Pass) FieldDirective(field *ast.Field, name string) (Directive, bool) {
 // at/above the spec.
 func (p *Pass) TypeDirective(decl *ast.GenDecl, spec *ast.TypeSpec, name string) (Directive, bool) {
 	if d, ok := directiveInGroup(spec.Doc, name); ok {
+		p.Pkg.useDirective(d.Pos)
 		return d, true
 	}
 	if decl != nil {
 		if d, ok := directiveInGroup(decl.Doc, name); ok {
+			p.Pkg.useDirective(d.Pos)
 			return d, true
 		}
 	}

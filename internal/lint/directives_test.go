@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+// TestParseDirective pins the tokenization contract: the //flb: prefix
+// is exact (no space, no other marker), the first space splits name from
+// arg, and the arg is trimmed but otherwise kept verbatim.
+func TestParseDirective(t *testing.T) {
+	tests := []struct {
+		comment string
+		ok      bool
+		name    string
+		arg     string
+	}{
+		{"//flb:hotpath", true, "hotpath", ""},
+		{"//flb:alloc-ok amortized build, runs once", true, "alloc-ok", "amortized build, runs once"},
+		{"//flb:guarded-by mu", true, "guarded-by", "mu"},
+		{"//flb:wallclock   padded justification  ", true, "wallclock", "padded justification"},
+		// The name is everything up to the first space, even when no
+		// analyzer knows it; staledirective reports it later.
+		{"//flb:hotpth typo", true, "hotpth", "typo"},
+		// Tab after the name is not a separator: it stays in the name,
+		// which then matches nothing — the directive must use a space.
+		{"//flb:hotpath\tjustification", true, "hotpath\tjustification", ""},
+		// Not directives at all.
+		{"// flb:hotpath", false, "", ""},
+		{"//flb hotpath", false, "", ""},
+		{"// plain comment", false, "", ""},
+		{"/*flb:hotpath*/", false, "", ""},
+	}
+	for _, tt := range tests {
+		d, ok := parseDirective(&ast.Comment{Text: tt.comment})
+		if ok != tt.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", tt.comment, ok, tt.ok)
+			continue
+		}
+		if ok && (d.Name != tt.name || d.Arg != tt.arg) {
+			t.Errorf("parseDirective(%q) = {%q, %q}, want {%q, %q}",
+				tt.comment, d.Name, d.Arg, tt.name, tt.arg)
+		}
+	}
+}
+
+// TestParseDirectivesByLine checks the per-file index: directives are
+// keyed by source line, multiple directives in one doc group each land
+// on their own line, and non-directive comment lines are skipped.
+func TestParseDirectivesByLine(t *testing.T) {
+	src := `package p
+
+// doc text the parser must skip
+//flb:pooled reused per run
+//flb:ordered
+type T struct {
+	n int //flb:guarded-by mu
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parseDirectives(fset, f)
+	byLine := map[int][]string{}
+	for line, ds := range got {
+		for _, d := range ds {
+			byLine[line] = append(byLine[line], d.Name+"|"+d.Arg)
+		}
+	}
+	want := map[int][]string{
+		4: {"pooled|reused per run"},
+		5: {"ordered|"},
+		7: {"guarded-by|mu"},
+	}
+	if !reflect.DeepEqual(byLine, want) {
+		t.Errorf("parseDirectives index = %v, want %v", byLine, want)
+	}
+}

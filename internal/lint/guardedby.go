@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardedBy checks the module's documented locking discipline. A struct
+// field annotated //flb:guarded-by <mu> (where mu names a sibling mutex
+// field) may be touched only by functions that hold the lock — and
+// "hold" is decided over the call graph, not per function: a helper that
+// never locks is still safe when every caller that can reach it locks
+// first.
+//
+// Concretely, a function is lock-safe for a guard when it calls
+// <expr>.<mu>.Lock() or .RLock() in its own body, or when it has callers
+// and every one of them is lock-safe (a greatest fixpoint, so mutually
+// recursive helpers under a locking entry point stay safe). An access in
+// a function that is not lock-safe is a finding, with two escapes:
+//
+//   - the enclosing function built the struct itself (a local composite
+//     literal or new()) — constructors initialize before publication;
+//   - a line-level //flb:unguarded <why> for the idioms the analyzer
+//     cannot see, like reading an error slot after WaitGroup.Wait has
+//     joined every writer.
+//
+// A guarded-by annotation whose argument names no sibling field is a
+// finding on the spot.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "check //flb:guarded-by fields are accessed only from functions that " +
+		"hold the named mutex, transitively over the call graph",
+	Run: runGuardedBy,
+}
+
+// A guardInfo is one //flb:guarded-by annotated field and its resolved
+// guard: the sibling mutex field whose Lock/RLock protects it.
+type guardInfo struct {
+	field *types.Var // the guarded field
+	guard *types.Var // the sibling mutex field
+	name  string     // guard field name, for diagnostics
+}
+
+func runGuardedBy(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	cg := p.Prog.CallGraph()
+	locks, accesses := scanLockAndAccess(p, cg, guards)
+	unsafeByGuard := map[*types.Var]map[*types.Func]bool{}
+	for _, g := range guards {
+		if g.guard == nil {
+			continue // unresolved guard, already reported at collection
+		}
+		unsafe, ok := unsafeByGuard[g.guard]
+		if !ok {
+			unsafe = unsafeFuncs(cg, g.guard, locks)
+			unsafeByGuard[g.guard] = unsafe
+		}
+		for _, info := range cg.Funcs() {
+			if info.Pkg != p.Pkg || !unsafe[info.Obj] {
+				continue
+			}
+			locals := localConstructions(info)
+			for _, acc := range accesses[info.Obj] {
+				if acc.guard != g.guard || acc.field != g.field {
+					continue
+				}
+				if locals[acc.root] {
+					continue // the function built the struct itself
+				}
+				if d, ok := p.DirectiveAt(acc.pos, "unguarded"); ok {
+					p.requireJustified(d, acc.pos)
+					continue
+				}
+				p.Reportf(acc.pos, "%s is //flb:guarded-by %s, but %s does not hold it (no Lock on this path from any caller); lock %s or justify with //flb:unguarded", g.field.Name(), g.name, shortFuncName(info.Obj), g.name)
+			}
+		}
+	}
+}
+
+// collectGuards finds every //flb:guarded-by field in the program and
+// resolves its guard to the named sibling field. Unresolvable guards are
+// reported (in the declaring package's pass only).
+func collectGuards(p *Pass) []guardInfo {
+	var out []guardInfo
+	for _, pkg := range p.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					d, ok := pkg.fieldDirective(field, "guarded-by")
+					if !ok {
+						continue
+					}
+					if pkg == p.Pkg {
+						p.Pkg.useDirective(d.Pos) // the pass that owns the declaration accounts for it
+					}
+					guard := findSibling(pkg, st, d.Arg)
+					if guard == nil && pkg == p.Pkg {
+						p.Reportf(field.Pos(), "//flb:guarded-by %s names no sibling field of this struct", d.Arg)
+					}
+					for _, name := range field.Names {
+						fv, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						out = append(out, guardInfo{field: fv, guard: guard, name: d.Arg})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// findSibling resolves the guard name to the struct's field object.
+func findSibling(pkg *Package, st *ast.StructType, name string) *types.Var {
+	if name == "" {
+		return nil
+	}
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				v, _ := pkg.Info.Defs[id].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// A fieldAccess is one mention of a guarded field inside a function.
+type fieldAccess struct {
+	field *types.Var
+	guard *types.Var
+	root  types.Object // base identifier of the selector chain, if any
+	pos   token.Pos
+}
+
+// scanLockAndAccess walks every function body once, recording which
+// guard mutexes it locks and which guarded fields it touches.
+func scanLockAndAccess(p *Pass, cg *CallGraph, guards []guardInfo) (map[*types.Func]map[*types.Var]bool, map[*types.Func][]fieldAccess) {
+	guarded := map[*types.Var]*guardInfo{}
+	guardFields := map[*types.Var]bool{}
+	for i := range guards {
+		g := &guards[i]
+		if g.guard == nil {
+			continue
+		}
+		guarded[g.field] = g
+		guardFields[g.guard] = true
+	}
+	locks := map[*types.Func]map[*types.Var]bool{}
+	accesses := map[*types.Func][]fieldAccess{}
+	for _, info := range cg.Funcs() {
+		pkg := info.Pkg
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// <expr>.<guard>.Lock() / .RLock()
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+					return true
+				}
+				inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if v := selectedField(pkg, inner); v != nil && guardFields[v] {
+					if locks[info.Obj] == nil {
+						locks[info.Obj] = map[*types.Var]bool{}
+					}
+					locks[info.Obj][v] = true
+				}
+			case *ast.SelectorExpr:
+				v := selectedField(pkg, n)
+				g, ok := guarded[v]
+				if !ok {
+					return true
+				}
+				accesses[info.Obj] = append(accesses[info.Obj], fieldAccess{
+					field: g.field,
+					guard: g.guard,
+					root:  rootObject(pkg, n.X),
+					pos:   n.Sel.Pos(),
+				})
+			}
+			return true
+		})
+	}
+	return locks, accesses
+}
+
+// selectedField resolves a selector to the struct field it names, or nil.
+func selectedField(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// rootObject unwraps a selector base down to its leftmost identifier's
+// object: x in x.a[i].b, or nil when the base is not rooted in one.
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// unsafeFuncs computes the complement of the greatest lock-safe set for
+// one guard: safe(F) = locks(F) or (F has callers and all are safe).
+// Unsafety starts at non-locking functions with no callers and flows
+// down call edges.
+func unsafeFuncs(cg *CallGraph, guard *types.Var, locks map[*types.Func]map[*types.Var]bool) map[*types.Func]bool {
+	holds := func(fn *types.Func) bool { return locks[fn][guard] }
+	unsafe := map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, info := range cg.Funcs() {
+		if !holds(info.Obj) && len(cg.Callers(info.Obj)) == 0 {
+			unsafe[info.Obj] = true
+			queue = append(queue, info.Obj)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, c := range cg.Callees(fn, true) {
+			if !holds(c) && !unsafe[c] {
+				unsafe[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	return unsafe
+}
+
+// localConstructions collects the local variables the function
+// initializes from a composite literal, its address, or new(): accesses
+// rooted in them are pre-publication and need no lock.
+func localConstructions(info *FuncInfo) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Pkg.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			out[obj] = true
+		case *ast.UnaryExpr:
+			if _, ok := r.X.(*ast.CompositeLit); ok {
+				out[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "new" {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+// TestGuardedBy covers the fixpoint lock analysis: unlocked access is a
+// finding, access from a function whose every caller locks is not, local
+// construction is exempt, and //flb:unguarded needs a justification.
+func TestGuardedBy(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.GuardedBy, "guardedby/a")
+}

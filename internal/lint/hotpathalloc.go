@@ -16,14 +16,24 @@ import (
 // concatenation. A finding justified by design is suppressed with a
 // line-level //flb:alloc-ok <why>.
 //
+// The check is reachability-based, not syntactic: every function a
+// //flb:hotpath root can reach through resolved static calls — in any
+// package of the program — is on the hot path and checked with the same
+// rules, whether or not it carries the marker itself. (Interface calls
+// are excluded: the guarded obs.Sink emissions are exactly the designed
+// escape from the hot path into sinks that may allocate.) An unmarked
+// helper that allocates two calls below the FLB inner loop is therefore
+// a finding in the helper's package, with the witness chain in the
+// message.
+//
 // The analyzer also *requires* the marker on the functions the paper's
 // complexity argument depends on — the FLB inner loop, the heap
 // operations and the CSR adjacency accessors — so the invariant cannot be
 // silently unmarked away.
 var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc: "flag allocating constructs inside //flb:hotpath functions " +
-		"and require the marker on the FLB inner loop and heap operations",
+	Doc: "flag allocating constructs in //flb:hotpath functions and everything " +
+		"they transitively call, and require the marker on the FLB inner loop",
 	Run: runHotPathAlloc,
 }
 
@@ -65,6 +75,7 @@ var requiredHotpath = map[string][]string{
 
 func runHotPathAlloc(p *Pass) {
 	marked := map[string]bool{}
+	checked := map[*ast.FuncDecl]bool{}
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -74,7 +85,8 @@ func runHotPathAlloc(p *Pass) {
 			_, hot := p.FuncDirective(fn, "hotpath")
 			if hot {
 				marked[funcKey(fn)] = true
-				checkHotFunc(p, fn)
+				checked[fn] = true
+				checkHotFunc(p, fn, "")
 			}
 		}
 	}
@@ -82,6 +94,30 @@ func runHotPathAlloc(p *Pass) {
 		if !marked[want] {
 			p.Reportf(p.Pkg.Files[0].Name.Pos(), "%s must be marked //flb:hotpath: the FLB cost model depends on it staying allocation-free", want)
 		}
+	}
+	checkReachableHot(p, checked)
+}
+
+// checkReachableHot extends the allocation check to this package's
+// unmarked functions that some //flb:hotpath root (in any package)
+// reaches through static calls.
+func checkReachableHot(p *Pass, checked map[*ast.FuncDecl]bool) {
+	cg := p.Prog.CallGraph()
+	var roots []*types.Func
+	for _, info := range cg.Funcs() {
+		if _, ok := info.Pkg.funcDirective(info.Decl, "hotpath"); ok {
+			roots = append(roots, info.Obj)
+		}
+	}
+	from := cg.ReachableFrom(roots, false)
+	for _, info := range cg.Funcs() {
+		if info.Pkg != p.Pkg || checked[info.Decl] {
+			continue
+		}
+		if _, hot := from[info.Obj]; !hot {
+			continue
+		}
+		checkHotFunc(p, info.Decl, cg.PathString(from, info.Obj))
 	}
 }
 
@@ -100,8 +136,10 @@ func funcKey(fn *ast.FuncDecl) string {
 	return fn.Name.Name
 }
 
-// checkHotFunc walks one marked function body.
-func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
+// checkHotFunc walks one hot function body. via is empty for functions
+// carrying the marker themselves and the witness call chain for unmarked
+// functions reached from a //flb:hotpath root.
+func checkHotFunc(p *Pass, fn *ast.FuncDecl, via string) {
 	if fn.Body == nil {
 		return
 	}
@@ -113,6 +151,9 @@ func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
 			}
 			p.requireJustified(d, pos)
 			return
+		}
+		if via != "" {
+			format += " (reachable from //flb:hotpath: " + via + ")"
 		}
 		p.Reportf(pos, format, args...)
 	}

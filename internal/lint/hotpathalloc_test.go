@@ -10,6 +10,14 @@ func TestHotPathAlloc(t *testing.T) {
 	lint.RunTest(t, "testdata", lint.HotPathAlloc, "hotpathalloc/a")
 }
 
+// TestHotPathAllocTransitive checks the reachability upgrade: an
+// unmarked helper in another package, reached from a //flb:hotpath root
+// in hotpathalloc/a, is checked with the same rules and the witness
+// chain in the message.
+func TestHotPathAllocTransitive(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.HotPathAlloc, "hotpathalloc/a", "hotpathalloc/helper")
+}
+
 // TestHotPathAllocRequiredMarkers checks the required-marker rule on a
 // testdata package whose import path shadows flb/internal/graph, where
 // the CSR accessors must carry //flb:hotpath.

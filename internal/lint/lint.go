@@ -8,21 +8,32 @@
 // those invariants over the type-checked source tree; cmd/flblint is the
 // command-line driver and CI runs it as a blocking job.
 //
-// The analyzers understand four source annotations:
+// The analyzers understand these source annotations:
 //
-//	//flb:ordered <why>   a range-over-map or multi-case select whose
-//	                      result is provably order-insensitive
-//	//flb:exact <why>     an intentional exact float comparison (the
-//	                      deterministic tie-break comparators)
-//	//flb:hotpath         marks a function as allocation-free hot path
-//	//flb:alloc-ok <why>  suppresses one hotpathalloc finding on a line
-//	//flb:pooled <why>    marks a type as arena-reused (as if sync.Pooled)
-//	//flb:keep <why>      a pooled-type field deliberately carried across
-//	                      runs
-//	//flb:deterministic   opts a package into the determinism checks
+//	//flb:ordered <why>     a range-over-map or multi-case select whose
+//	                        result is provably order-insensitive
+//	//flb:exact <why>       an intentional exact float comparison (the
+//	                        deterministic tie-break comparators)
+//	//flb:hotpath           marks a function as allocation-free hot path
+//	//flb:alloc-ok <why>    suppresses one hotpathalloc finding on a line
+//	//flb:pooled <why>      marks a type as arena-reused (as if sync.Pooled)
+//	//flb:keep <why>        a pooled-type field deliberately carried across
+//	                        runs
+//	//flb:deterministic     opts a package into the determinism checks
+//	//flb:seed-ok <why>     suppresses one seedflow finding on a line
+//	//flb:wallclock <why>   marks a function as a measurement shell allowed
+//	                        to read the wall clock
+//	//flb:guarded-by <mu>   a struct field only accessed holding the
+//	                        sibling mutex field mu
+//	//flb:unguarded <why>   suppresses one guardedby finding on a line
+//	                        (pre-publication init, post-join reads)
+//	//flb:sink-ok <why>     suppresses one sinkpure finding on a line
 //
 // Every justification-bearing annotation requires non-empty text after
-// the directive; a bare annotation is itself a finding.
+// the directive; a bare annotation is itself a finding. An annotation
+// that suppresses or marks nothing — or misspells a directive name — is
+// itself a finding (staledirective), so the suppression surface cannot
+// rot as the code under it changes.
 package lint
 
 import (
@@ -50,10 +61,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// A Pass couples one analyzer run with one loaded package.
+// A Pass couples one analyzer run with one loaded package. Prog exposes
+// the whole loaded program — every analyzer reports only on its own
+// package, but the call-graph analyzers compute facts program-wide.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 
 	diags *[]Diagnostic
 }
@@ -77,25 +91,40 @@ var deterministicPrefixes = []string{
 	"flb/internal/algo",
 }
 
+// deterministicPath reports whether the import path falls under one of
+// the determinism-critical subtrees.
+func deterministicPath(path string) bool {
+	for _, prefix := range deterministicPrefixes {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
 // Deterministic reports whether the package is determinism-critical:
 // either under one of the known scheduling subtrees, or opted in with a
 // //flb:deterministic directive in any of its files.
 func (p *Pass) Deterministic() bool {
-	for _, prefix := range deterministicPrefixes {
-		if p.Pkg.Path == prefix || strings.HasPrefix(p.Pkg.Path, prefix+"/") {
-			return true
-		}
+	if deterministicPath(p.Pkg.Path) {
+		return true
 	}
+	found := false
 	for _, byLine := range p.Pkg.directives {
 		for _, ds := range byLine {
 			for _, d := range ds {
 				if d.Name == "deterministic" {
-					return true
+					// Mark every opt-in used: in an opted-in package each
+					// one carries the determinism contract. (In a package
+					// already covered by the prefix list this scan never
+					// runs, so a redundant opt-in is reported as stale.)
+					p.Pkg.useDirective(d.Pos)
+					found = true
 				}
 			}
 		}
 	}
-	return false
+	return found
 }
 
 // walkFuncs visits every statement-bearing node of every file, tracking

@@ -48,7 +48,17 @@ type Package struct {
 	Info  *types.Info
 
 	directives map[*ast.File]map[int][]Directive
+
+	// used records the //flb: directives some analyzer's lookup touched
+	// (keyed by comment position); ran the analyzers that have processed
+	// this package. Both feed staledirective, which shadow-runs whatever
+	// has not run yet and then reports every untouched suppression.
+	used map[token.Pos]bool
+	ran  map[string]bool
 }
+
+// useDirective marks the directive at pos as consulted by an analyzer.
+func (p *Package) useDirective(pos token.Pos) { p.used[pos] = true }
 
 // goList invokes the go tool from dir and decodes its JSON package stream.
 func goList(dir string, args ...string) ([]*listPkg, error) {
@@ -144,9 +154,10 @@ func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, err
 
 func newInfo() *types.Info {
 	return &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 }
 
@@ -159,6 +170,8 @@ func newPackage(path, dir string, fset *token.FileSet, files []*ast.File, tpkg *
 		Types:      tpkg,
 		Info:       info,
 		directives: make(map[*ast.File]map[int][]Directive, len(files)),
+		used:       map[token.Pos]bool{},
+		ran:        map[string]bool{},
 	}
 	for _, f := range files {
 		pkg.directives[f] = parseDirectives(fset, f)
@@ -247,6 +260,17 @@ func (l *testdataLoader) load(path string) (*Package, error) {
 	pkg := newPackage(path, dir, l.fset, files, tpkg, info)
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+// loaded returns every package the loader has type-checked, sorted by
+// import path.
+func (l *testdataLoader) loaded() []*Package {
+	out := make([]*Package, 0, len(l.cache))
+	for _, pkg := range l.cache {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 func isDir(path string) bool {

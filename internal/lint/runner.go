@@ -5,24 +5,28 @@ import "sort"
 // Run loads the packages matching the patterns (resolved by the go tool
 // from dir) and applies every analyzer, returning the findings sorted by
 // position. It is the programmatic equivalent of `flblint <patterns>`.
+// All matched packages form one Program, so the call-graph analyzers see
+// cross-package edges between everything loaded together.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	prog := NewProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, runPackage(pkg, analyzers)...)
+		diags = append(diags, runPackage(prog, pkg, analyzers)...)
 	}
 	sortDiagnostics(diags)
 	return diags, nil
 }
 
-func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+func runPackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags}
 		a.Run(pass)
+		pkg.ran[a.Name] = true
 	}
 	return diags
 }

@@ -25,7 +25,10 @@ func TestSuiteCleanOnTree(t *testing.T) {
 
 // TestAllAnalyzersRegistered pins the suite composition.
 func TestAllAnalyzersRegistered(t *testing.T) {
-	want := []string{"nomapiter", "resetcomplete", "hotpathalloc", "floatcmp"}
+	want := []string{
+		"nomapiter", "resetcomplete", "hotpathalloc", "floatcmp",
+		"seedflow", "walltime", "guardedby", "sinkpure", "staledirective",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

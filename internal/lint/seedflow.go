@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow polices how randomness enters the randomized packages. Every
+// experiment in the module is replayed from one user-facing seed, so an
+// RNG constructed any other way silently breaks reproducibility. Three
+// constructions are banned:
+//
+//   - math/rand package-level draws (rand.Intn, rand.Float64, rand.Seed,
+//     ...): process-wide shared state whose sequence depends on what else
+//     ran first;
+//   - wall-clock-derived seeds (time.Now().UnixNano() and friends): a
+//     different experiment every run;
+//   - seeds synthesized by arithmetic (base + 1e9*i + offset): the
+//     position-dependent scheme whose stream collisions corrupted the
+//     sharded runner before it moved to sim.DeriveSeed — an instance's
+//     seed must not change when its position in the batch does.
+//
+// A seed expression is accepted when it is a sim.DeriveSeed call (any
+// function named DeriveSeed), a declared seed value (an identifier or
+// field whose name contains "seed"), a constant, or a conversion of one
+// of those. Anything else on a rand.NewSource argument is a finding,
+// suppressible line-level with //flb:seed-ok <why>.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc: "require RNG seeds to flow from sim.DeriveSeed or declared seed values, " +
+		"and ban math/rand global state and wall-clock seeding",
+	Run: runSeedFlow,
+}
+
+// seedPackages lists the packages whose randomness feeds experiment
+// results and so must be derivable from the base seed alone.
+var seedPackages = map[string]bool{
+	"flb":                   true,
+	"flb/internal/core":     true,
+	"flb/internal/sim":      true,
+	"flb/internal/par":      true,
+	"flb/internal/memo":     true,
+	"flb/internal/bench":    true,
+	"flb/internal/workload": true,
+}
+
+func runSeedFlow(p *Pass) {
+	if !seedPackages[p.Pkg.Path] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // a method on an explicit *rand.Rand is fine
+			}
+			switch {
+			case globalRandState[fn.Name()]:
+				if !seedSuppressed(p, call.Pos()) {
+					p.Reportf(call.Pos(), "math/rand.%s draws from process-wide shared state; construct a local rand.New(rand.NewSource(sim.DeriveSeed(base, stream)))", fn.Name())
+				}
+			case fn.Name() == "NewSource" && len(call.Args) == 1:
+				checkSeedExpr(p, call, call.Args[0])
+			}
+			return true
+		})
+	}
+}
+
+// globalRandState lists the math/rand package-level functions that draw
+// from (or mutate) the shared global source.
+var globalRandState = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func seedSuppressed(p *Pass, pos token.Pos) bool {
+	if d, ok := p.DirectiveAt(pos, "seed-ok"); ok {
+		p.requireJustified(d, pos)
+		return true
+	}
+	return false
+}
+
+func checkSeedExpr(p *Pass, call *ast.CallExpr, x ast.Expr) {
+	if seedOK(p, x) || seedSuppressed(p, call.Pos()) {
+		return
+	}
+	if timeDerived(p, x) {
+		p.Reportf(x.Pos(), "wall-clock-derived seed makes every run a different experiment; derive seeds from the base seed with sim.DeriveSeed")
+		return
+	}
+	p.Reportf(x.Pos(), "seed synthesized by expression; compose independent streams with sim.DeriveSeed(base, stream) so an instance's seed cannot collide with or shift under its neighbors'")
+}
+
+// seedOK reports whether x is an accepted seed expression: a DeriveSeed
+// call, a declared seed value, a constant, or a conversion of one.
+func seedOK(p *Pass, x ast.Expr) bool {
+	x = ast.Unparen(x)
+	if tv, ok := p.Pkg.Info.Types[x]; ok && tv.Value != nil {
+		return true // constants are reproducible by construction
+	}
+	switch e := x.(type) {
+	case *ast.Ident:
+		return isSeedName(e.Name)
+	case *ast.SelectorExpr:
+		return isSeedName(e.Sel.Name)
+	case *ast.CallExpr:
+		if fn := calleeFunc(p.Pkg, e); fn != nil && fn.Name() == "DeriveSeed" {
+			return true
+		}
+		if tv, ok := p.Pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return seedOK(p, e.Args[0]) // conversion wrapper
+		}
+	}
+	return false
+}
+
+func isSeedName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+// timeDerived reports whether x contains any call into package time.
+func timeDerived(p *Pass, x ast.Expr) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(p.Pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves the function a call expression invokes, or nil for
+// builtins, conversions and unresolvable function values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pkg.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

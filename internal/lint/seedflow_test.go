@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+// TestSeedFlow runs seedflow against a testdata package shadowing
+// flb/internal/bench, one of the seed-governed packages: every
+// rand.NewSource argument must trace to DeriveSeed, a declared seed
+// value, or a constant, and math/rand global state is banned.
+func TestSeedFlow(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.SeedFlow, "flb/internal/bench")
+}

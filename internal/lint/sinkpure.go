@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SinkPure keeps observation from steering the experiment. The obs.Sink
+// interface is the one sanctioned window onto a running schedule, and
+// DESIGN.md's observability contract promises that attaching a sink
+// changes nothing but what gets recorded. That promise dies silently the
+// first time an emission handler reaches back and mutates scheduler
+// state, so this analyzer walks the call graph from every in-program
+// Sink implementation's interface methods and flags, anywhere in that
+// closure:
+//
+//   - assignments to package-level variables (shared state no sink
+//     should own), and
+//   - writes to fields declared in the scheduler-state packages (core,
+//     sim, graph, pq, schedule, machine, fault, par, memo) on types that
+//     are not themselves Sink implementations.
+//
+// A sink mutating itself is fine (that is what recording is); so are
+// writes to structs the function just built (local composite literals,
+// new()). Anything else needs a line-level //flb:sink-ok <why>.
+var SinkPure = &Analyzer{
+	Name: "sinkpure",
+	Doc: "forbid functions reachable from obs.Sink emissions from mutating " +
+		"scheduler state or package-level variables",
+	Run: runSinkPure,
+}
+
+// schedulerStatePkgs lists the packages whose types make up the
+// scheduler's mutable state: writes to their fields from observation
+// code change the experiment.
+var schedulerStatePkgs = map[string]bool{
+	"flb/internal/core":     true,
+	"flb/internal/sim":      true,
+	"flb/internal/graph":    true,
+	"flb/internal/pq":       true,
+	"flb/internal/schedule": true,
+	"flb/internal/machine":  true,
+	"flb/internal/fault":    true,
+	"flb/internal/par":      true,
+	"flb/internal/memo":     true,
+}
+
+func runSinkPure(p *Pass) {
+	iface := sinkInterface(p.Prog)
+	if iface == nil {
+		return // no obs.Sink in this program
+	}
+	cg := p.Prog.CallGraph()
+	roots := sinkMethods(p.Prog, cg, iface)
+	from := cg.ReachableFrom(roots, true)
+	for _, info := range cg.Funcs() {
+		if info.Pkg != p.Pkg {
+			continue
+		}
+		if _, ok := from[info.Obj]; !ok {
+			continue
+		}
+		checkSinkFunc(p, cg, info, iface, from)
+	}
+}
+
+// sinkInterface resolves the obs.Sink interface type from the loaded
+// program, or nil when the obs package is not part of it.
+func sinkInterface(pr *Program) *types.Interface {
+	obs := pr.Package("flb/internal/obs")
+	if obs == nil {
+		return nil
+	}
+	tn, ok := obs.Types.Scope().Lookup("Sink").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := tn.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// sinkMethods collects the emission entry points: for every concrete
+// in-program type implementing Sink, its bodies for the interface's
+// methods.
+func sinkMethods(pr *Program, cg *CallGraph, iface *types.Interface) []*types.Func {
+	var out []*types.Func
+	for _, tn := range concreteTypes(pr) {
+		t := tn.Type()
+		pt := types.NewPointer(t)
+		if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+			continue
+		}
+		for i := 0; i < iface.NumMethods(); i++ {
+			obj, _, _ := types.LookupFieldOrMethod(pt, true, tn.Pkg(), iface.Method(i).Name())
+			if m, ok := obj.(*types.Func); ok && cg.Info(m) != nil {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// checkSinkFunc flags the mutating statements of one sink-reachable
+// function.
+func checkSinkFunc(p *Pass, cg *CallGraph, info *FuncInfo, iface *types.Interface, from map[*types.Func]*types.Func) {
+	locals := localConstructions(info)
+	via := cg.PathString(from, info.Obj)
+	report := func(pos token.Pos, format string, args ...any) {
+		if d, ok := p.DirectiveAt(pos, "sink-ok"); ok {
+			p.requireJustified(d, pos)
+			return
+		}
+		args = append(args, via)
+		p.Reportf(pos, format+" (reachable from obs.Sink emission: %s)", args...)
+	}
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkSinkWrite(p, report, info, iface, locals, lhs, n.Tok.String() == ":=")
+			}
+		case *ast.IncDecStmt:
+			checkSinkWrite(p, report, info, iface, locals, n.X, false)
+		}
+		return true
+	})
+}
+
+func checkSinkWrite(p *Pass, report func(token.Pos, string, ...any), info *FuncInfo, iface *types.Interface, locals map[types.Object]bool, lhs ast.Expr, define bool) {
+	pkg := info.Pkg
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if define || lhs.Name == "_" {
+			return
+		}
+		obj := pkg.Info.Uses[lhs]
+		if v, ok := obj.(*types.Var); ok && packageLevel(v) {
+			report(lhs.Pos(), "sink-reachable code assigns package-level %s; observation must not own shared state", lhs.Name)
+		}
+	default:
+		sel := baseSelector(lhs)
+		if sel == nil {
+			return
+		}
+		v := selectedField(pkg, sel)
+		if v == nil || v.Pkg() == nil || !schedulerStatePkgs[v.Pkg().Path()] {
+			return
+		}
+		owner := fieldOwner(pkg, sel)
+		if owner != nil && (types.Implements(owner, iface) || types.Implements(types.NewPointer(owner), iface)) {
+			return // a sink recording into itself
+		}
+		if root := rootObject(pkg, sel.X); root != nil {
+			if locals[root] {
+				return // writing into a struct this function just built
+			}
+			if v, ok := root.(*types.Var); ok && packageLevel(v) {
+				report(sel.Sel.Pos(), "sink-reachable code writes %s.%s through a package-level variable; observation must not steer the scheduler", types.ExprString(sel.X), sel.Sel.Name)
+				return
+			}
+		}
+		report(sel.Sel.Pos(), "sink-reachable code mutates scheduler state %s.%s; sinks must observe, not steer", types.ExprString(sel.X), sel.Sel.Name)
+	}
+}
+
+// baseSelector unwraps index and deref layers to the field selector
+// being written: s.f in s.f[i] = x or *s.f = x.
+func baseSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldOwner returns the named type whose field a selector writes.
+func fieldOwner(pkg *Package, sel *ast.SelectorExpr) types.Type {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named
+	}
+	return nil
+}
+
+// packageLevel reports whether v is a package-scope variable.
+func packageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+// TestSinkPure covers the emission closure: mutations of scheduler
+// state and package-level variables anywhere reachable from a Sink
+// method are findings; a sink recording into itself, locally built
+// structs, unreachable functions, and justified //flb:sink-ok lines
+// are not.
+func TestSinkPure(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.SinkPure, "sinkpure/a")
+}
+
+// TestSinkPureInStatePackage runs sinkpure over a scheduler-state
+// package that hosts its own sink: self-recording must stay clean even
+// though the fields live in a state package.
+func TestSinkPureInStatePackage(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.SinkPure, "flb/internal/core")
+}

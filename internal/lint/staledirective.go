@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// StaleDirective is the suite's rot collector. Every //flb: annotation
+// is a claim about the line or declaration under it, and the other
+// analyzers record which annotations their lookups actually consulted.
+// After they have run, anything left over is wrong in one of two ways:
+//
+//   - the name is not a directive at all (a typo like //flb:hotpth
+//     silently suppresses nothing — worse than a loud error);
+//   - the directive is real but no analyzer consulted it: the alloc-ok
+//     line no longer allocates, the wallclock shell no longer reads the
+//     clock, the exact comparison was rewritten. A suppression that
+//     suppresses nothing is a stale claim future readers will trust.
+//
+// Both are findings. To stay meaningful under `flblint -only
+// staledirective`, the analyzer first shadow-runs (diagnostics
+// discarded) every suite analyzer that has not yet processed the
+// package, so the consulted-set is always complete when the leftovers
+// are collected.
+var StaleDirective = &Analyzer{
+	Name: "staledirective",
+	Doc: "report //flb: directives that no analyzer consulted (stale suppressions) " +
+		"and unknown directive names",
+}
+
+// Run is wired in init: runStaleDirective replays the suite via All,
+// which mentions StaleDirective, and a direct reference in the composite
+// literal would be an initialization cycle.
+func init() { StaleDirective.Run = runStaleDirective }
+
+// knownDirectives is the registry of directive names the suite
+// understands; see the package comment for their meanings.
+var knownDirectives = map[string]bool{
+	"ordered":       true,
+	"exact":         true,
+	"hotpath":       true,
+	"alloc-ok":      true,
+	"pooled":        true,
+	"keep":          true,
+	"deterministic": true,
+	"seed-ok":       true,
+	"wallclock":     true,
+	"guarded-by":    true,
+	"unguarded":     true,
+	"sink-ok":       true,
+}
+
+func runStaleDirective(p *Pass) {
+	// Complete the consulted-set: run (with discarded diagnostics)
+	// whatever part of the suite has not yet seen this package.
+	for _, a := range All() {
+		if a.Name == StaleDirective.Name || p.Pkg.ran[a.Name] {
+			continue
+		}
+		var discard []Diagnostic
+		a.Run(&Pass{Analyzer: a, Pkg: p.Pkg, Prog: p.Prog, diags: &discard})
+	}
+	for _, f := range p.Pkg.Files {
+		byLine := p.Pkg.directives[f]
+		lines := make([]int, 0, len(byLine))
+		for line := range byLine {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			for _, d := range byLine[line] {
+				switch {
+				case !knownDirectives[d.Name]:
+					p.Reportf(d.Pos, "unknown directive //flb:%s (known: %s)", d.Name, knownDirectiveList())
+				case !p.Pkg.used[d.Pos]:
+					p.Reportf(d.Pos, "stale //flb:%s: no analyzer consulted it, so it marks or suppresses nothing here — the code it covered changed or moved; delete it or fix the code", d.Name)
+				}
+			}
+		}
+	}
+}
+
+func knownDirectiveList() string {
+	names := make([]string, 0, len(knownDirectives))
+	for name := range knownDirectives {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

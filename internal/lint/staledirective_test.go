@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+// TestStaleDirective runs the rot collector alone, the way `flblint
+// -only staledirective` would: its shadow-run of the rest of the suite
+// must complete the consulted-set before leftovers are reported.
+func TestStaleDirective(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.StaleDirective, "staledirective/a")
+}

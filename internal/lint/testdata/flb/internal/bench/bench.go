@@ -1,0 +1,62 @@
+// Package bench mirrors the benchmark package's import path to exercise
+// seedflow: under a seed-governed package every rand.NewSource argument
+// must be a DeriveSeed call, a declared seed value, or a constant, and
+// the math/rand global-state functions are off limits.
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+type config struct {
+	BaseSeed int64
+}
+
+// DeriveSeed stands in for sim.DeriveSeed; seedflow matches the callee
+// by name.
+func DeriveSeed(seed int64, stream uint64) int64 {
+	return seed ^ int64(stream*0x9e3779b97f4a7c15)
+}
+
+// good shows every accepted seed form.
+func good(cfg config, seed int64) {
+	_ = rand.New(rand.NewSource(DeriveSeed(cfg.BaseSeed, 1)))
+	_ = rand.New(rand.NewSource(seed))
+	_ = rand.NewSource(cfg.BaseSeed)
+	_ = rand.NewSource(int64(uint64(seed))) // conversions unwrap
+	_ = rand.NewSource(42)                  // constants reproduce by construction
+}
+
+// local draws from an explicit generator: methods are fine, only the
+// package-level global state is banned.
+func local(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func arithmetic(cfg config, i int) {
+	_ = rand.NewSource(cfg.BaseSeed + int64(i)*1000) // want `seed synthesized by expression`
+}
+
+func wallClock() {
+	_ = rand.NewSource(time.Now().UnixNano()) // want `wall-clock-derived seed`
+}
+
+func global() int {
+	return rand.Intn(10) // want `math/rand.Intn draws from process-wide shared state`
+}
+
+func reseed(seed int64) {
+	rand.Seed(seed) // want `math/rand.Seed draws from process-wide shared state`
+}
+
+// justified documents why its synthesized seed is safe.
+func justified(label int64) {
+	//flb:seed-ok fixture: label is a stable content hash, not a position
+	_ = rand.NewSource(label * 31)
+}
+
+func unjustified(label int64) {
+	//flb:seed-ok
+	_ = rand.NewSource(label * 31) // want `//flb:seed-ok needs a justification`
+}

@@ -1,0 +1,20 @@
+// Package core mirrors the scheduler-state package's import path: writes
+// to its fields from sink-reachable code are sinkpure findings, unless
+// the writing type is itself a Sink recording into itself.
+package core
+
+// State is scheduler-owned mutable state.
+type State struct {
+	Step  int
+	Costs []float64
+}
+
+// Recorder is a sink that happens to live inside a scheduler-state
+// package. Appending to its own field is recording, not steering: the
+// owner-implements-Sink exemption keeps this clean.
+type Recorder struct {
+	Steps []int
+}
+
+func (r *Recorder) Begin(v int) { r.Steps = append(r.Steps, v) }
+func (r *Recorder) End()        {}

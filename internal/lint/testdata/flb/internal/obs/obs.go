@@ -1,0 +1,10 @@
+// Package obs mirrors the observability package's import path so that
+// sinkpure can resolve the Sink interface in testdata programs.
+package obs
+
+// Sink is the sanctioned observation window: implementations receive
+// emissions and must not steer the schedule.
+type Sink interface {
+	Begin(v int)
+	End()
+}

@@ -1,0 +1,52 @@
+// Package a exercises guardedby: a field declared //flb:guarded-by mu
+// may only be touched in functions that hold mu on every static path
+// from their callers.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the running total.
+	//flb:guarded-by mu
+	n int
+	//flb:guarded-by missing
+	bad int // want `//flb:guarded-by missing names no sibling field of this struct`
+}
+
+// NewCounter builds a fresh counter: local construction is exempt, the
+// value cannot be shared yet.
+func NewCounter(start int) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// Add locks before writing: safe, and makes bump safe in its context.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump(d)
+}
+
+// bump has no lock of its own, but every caller holds mu.
+func (c *counter) bump(d int) {
+	c.n += d
+}
+
+// Racy reads without the lock and without a justification.
+func (c *counter) Racy() int {
+	return c.n // want `n is //flb:guarded-by mu, but counter.Racy does not hold it`
+}
+
+// Joined reads after the writers are gone and says so.
+func (c *counter) Joined() int {
+	//flb:unguarded callers join all writers before reading the total
+	return c.n
+}
+
+// Bare suppresses without explaining why.
+func (c *counter) Bare() int {
+	//flb:unguarded
+	return c.n // want `//flb:unguarded needs a justification`
+}

@@ -2,7 +2,11 @@
 // inside functions carrying the //flb:hotpath marker.
 package a
 
-import "fmt"
+import (
+	"fmt"
+
+	"hotpathalloc/helper"
+)
 
 type arena struct {
 	buf []int
@@ -58,6 +62,23 @@ func fatal(code int) {
 		//flb:alloc-ok unreachable guard: building the panic value on the crash path is fine
 		panic(code)
 	}
+}
+
+// inner carries the marker; the helpers it calls do not, but the
+// reachability check follows the static edges and reports their
+// allocations with a witness chain — in this package and across the
+// package boundary into hotpathalloc/helper.
+//
+//flb:hotpath
+func inner(n int) []int {
+	xs := hotHelper(n)
+	return helper.Scratch(len(xs))
+}
+
+// hotHelper is unmarked but reached from inner: same rules apply, and the
+// message names the chain from the marked root.
+func hotHelper(n int) []int {
+	return make([]int, n) // want `make allocates in hot path.*reachable from //flb:hotpath: inner -> hotHelper`
 }
 
 // cold is unmarked: the same constructs draw no findings outside the

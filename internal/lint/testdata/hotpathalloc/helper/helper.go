@@ -1,0 +1,15 @@
+// Package helper seeds the cross-package side of the reachability
+// check: nothing here carries //flb:hotpath, but Scratch is reached from
+// a marked root in hotpathalloc/a, so its allocation is a finding in
+// this package with the witness chain naming the caller.
+package helper
+
+// Scratch allocates and is called from a hot path next door.
+func Scratch(n int) []int {
+	return make([]int, n) // want `make allocates in hot path.*reachable from //flb:hotpath: inner -> Scratch`
+}
+
+// Unreached allocates too, but no marked root reaches it: no finding.
+func Unreached(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,68 @@
+// Package a exercises sinkpure: functions reachable from obs.Sink
+// emission methods must not mutate scheduler state or package-level
+// variables.
+package a
+
+import (
+	"flb/internal/core"
+	"flb/internal/obs"
+)
+
+var calls int
+
+var shared = &core.State{}
+
+type recorder struct {
+	seen  int
+	state *core.State
+}
+
+var _ obs.Sink = (*recorder)(nil)
+
+func (r *recorder) Begin(v int) {
+	r.seen = v       // recording into the sink itself: fine
+	r.state.Step = v // want `mutates scheduler state r.state.Step`
+	bump()
+}
+
+func (r *recorder) End() {
+	helper(r.state)
+	_ = fresh()
+	justified(r.state)
+	bare(r.state)
+	poke()
+}
+
+func bump() {
+	calls++ // want `assigns package-level calls`
+}
+
+func helper(s *core.State) {
+	s.Step++ // want `mutates scheduler state s.Step`
+}
+
+func poke() {
+	shared.Step = 1 // want `writes shared.Step through a package-level variable`
+}
+
+// fresh builds and fills its own State: local construction is exempt.
+func fresh() *core.State {
+	s := &core.State{}
+	s.Step = 1
+	return s
+}
+
+func justified(s *core.State) {
+	//flb:sink-ok fixture: resets a scratch counter the scheduler ignores
+	s.Step = 0
+}
+
+func bare(s *core.State) {
+	//flb:sink-ok
+	s.Step = 2 // want `//flb:sink-ok needs a justification`
+}
+
+// cold is not reachable from any Sink emission: no finding.
+func cold(s *core.State) {
+	s.Step = 99
+}

@@ -1,0 +1,24 @@
+// Package a exercises staledirective: a directive no analyzer consulted
+// and a name outside the registry are both findings. The want patterns
+// ride inside the directive comments themselves, because diagnostics
+// land at the directive's own position.
+package a
+
+// Hot is consulted by hotpathalloc's root collection: not stale. The
+// alloc-ok under it suppresses nothing — the line allocates nothing —
+// so it is a stale claim.
+//
+//flb:hotpath
+func Hot(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x //flb:alloc-ok old scratch buffer // want `stale //flb:alloc-ok`
+	}
+	return s
+}
+
+//flb:hotpth // want `unknown directive //flb:hotpth`
+func typo() {}
+
+//flb:wallclock used to time the solver here // want `stale //flb:wallclock`
+func clockFree(a, b int) int { return a + b }

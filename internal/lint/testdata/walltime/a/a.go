@@ -1,0 +1,33 @@
+// Package a exercises walltime's first rule in an ordinary
+// (non-deterministic) package: every wall-clock call needs an enclosing
+// //flb:wallclock shell with a justification.
+package a
+
+import "time"
+
+func naked() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+// timed is a declared measurement shell: allowed.
+//
+//flb:wallclock times the caller's function on the host clock
+func timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+//flb:wallclock
+func unjustified() time.Time {
+	return time.Now() // want `//flb:wallclock needs a justification`
+}
+
+// parse only formats: no clock read, no finding.
+func parse(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}

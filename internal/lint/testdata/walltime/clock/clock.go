@@ -1,0 +1,15 @@
+// Package clock is a legitimate measurement shell in a non-deterministic
+// package: no findings here. The walltime/det package reaches it through
+// a static call, which is a finding over there.
+package clock
+
+import "time"
+
+// Elapsed times f on the host clock.
+//
+//flb:wallclock measurement helper for benchmark harnesses
+func Elapsed(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}

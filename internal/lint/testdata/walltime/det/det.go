@@ -1,0 +1,31 @@
+// Package det opts into the determinism contract, where walltime's
+// second rule applies: the wall clock is banned outright, directly or
+// through static calls into other packages, and //flb:wallclock is not
+// honored.
+//
+//flb:deterministic
+package det
+
+import (
+	"time"
+
+	"walltime/clock"
+)
+
+func direct() time.Time {
+	return time.Now() // want `time.Now in a deterministic package`
+}
+
+// annotated shows the annotation buying nothing here.
+//
+//flb:wallclock no excuse inside the deterministic subtree
+func annotated() time.Time {
+	return time.Now() // want `time.Now in a deterministic package`
+}
+
+func viaShell() float64 { // want `viaShell reaches the wall clock`
+	return clock.Elapsed(func() {})
+}
+
+// pure computes: no findings.
+func pure(a, b float64) float64 { return a + b }

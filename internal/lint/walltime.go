@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime keeps the wall clock out of everything the paper's
+// determinism claims cover. Simulated time is the only time the
+// scheduler and simulator may observe; real timestamps belong in
+// measurement shells (benchmark timers, the CLI's progress reporting)
+// and must be declared as such.
+//
+// Two rules, checked over the call graph:
+//
+//  1. Every direct call to a wall-clock function (time.Now, time.Since,
+//     timers, sleeps) must sit inside a function annotated
+//     //flb:wallclock <why> — the explicit inventory of where real time
+//     enters the module.
+//  2. Functions in deterministic packages (the scheduling subtrees and
+//     //flb:deterministic opt-ins) may not read the wall clock at all,
+//     directly or through static calls into other packages — there the
+//     annotation is not honored, because a schedule that depends on a
+//     timestamp is not replayable. The finding lands on the minimal
+//     frontier: the function that contains the call, or the one whose
+//     call edge leaves the deterministic subtree toward the clock, with
+//     the witness chain in the message.
+//
+// Interface calls are exempt from rule 2: the guarded obs.Sink
+// emissions are the designed escape hatch, and a sink that timestamps
+// events (inside its own //flb:wallclock shell) does not make the
+// schedule depend on those timestamps.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "confine wall-clock reads to //flb:wallclock measurement shells and ban " +
+		"them entirely, even transitively, in deterministic packages",
+	Run: runWallTime,
+}
+
+// wallClockNames lists the package-level time functions that observe or
+// schedule against the real clock.
+var wallClockNames = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+func isWallClock(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+func runWallTime(p *Pass) {
+	det := p.Deterministic()
+	// Rule 1: direct calls need an annotated enclosing function — except
+	// in deterministic packages, where no annotation excuses them.
+	p.walkFuncs(func(fn *ast.FuncDecl, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(p.Pkg, call)
+		if callee == nil || !isWallClock(callee) {
+			return true
+		}
+		if det {
+			p.Reportf(call.Pos(), "time.%s in a deterministic package: schedules must be replayable, so take timestamps as inputs (//flb:wallclock is not honored here)", callee.Name())
+			return true
+		}
+		if fn == nil {
+			p.Reportf(call.Pos(), "time.%s in a package-level initializer reads the wall clock outside any //flb:wallclock shell", callee.Name())
+			return true
+		}
+		if d, ok := p.FuncDirective(fn, "wallclock"); ok {
+			p.requireJustified(d, call.Pos())
+			return true
+		}
+		p.Reportf(call.Pos(), "time.%s reads the wall clock; move the measurement into a function annotated //flb:wallclock <why>, or thread simulated time through", callee.Name())
+		return true
+	})
+	if !det {
+		return
+	}
+	// Rule 2: no static path from a deterministic function to the clock.
+	cg := p.Prog.CallGraph()
+	direct, reach := wallClockReach(cg)
+	for _, info := range cg.Funcs() {
+		if info.Pkg != p.Pkg || !reach[info.Obj] || direct[info.Obj] {
+			continue // direct calls were already reported by rule 1
+		}
+		// Minimal frontier: report only the function whose edge leaves
+		// the deterministic subtree; deterministic callees that reach the
+		// clock are reported on their own.
+		for _, c := range cg.Callees(info.Obj, false) {
+			ci := cg.Info(c)
+			if reach[c] && (ci == nil || !packageDeterministic(ci.Pkg)) {
+				p.Reportf(info.Decl.Name.Pos(), "%s reaches the wall clock (%s); deterministic packages must take time as input", shortFuncName(info.Obj), wallPath(cg, info.Obj, direct, reach))
+				break
+			}
+		}
+	}
+}
+
+// wallClockReach computes, over static edges only, the functions that
+// call a wall-clock function directly and those that reach one.
+func wallClockReach(cg *CallGraph) (direct, reach map[*types.Func]bool) {
+	direct = map[*types.Func]bool{}
+	rev := map[*types.Func][]*types.Func{}
+	for _, info := range cg.Funcs() {
+		for _, ext := range cg.Extern(info.Obj) {
+			if isWallClock(ext) {
+				direct[info.Obj] = true
+			}
+		}
+		for _, c := range cg.Callees(info.Obj, false) {
+			rev[c] = append(rev[c], info.Obj)
+		}
+	}
+	reach = map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, info := range cg.Funcs() { // deterministic seeding order
+		if direct[info.Obj] {
+			reach[info.Obj] = true
+			queue = append(queue, info.Obj)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range rev[fn] {
+			if !reach[caller] {
+				reach[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return direct, reach
+}
+
+// wallPath renders a witness chain from fn to the wall-clock call it
+// reaches, following the first clock-reaching static edge at each step.
+func wallPath(cg *CallGraph, fn *types.Func, direct, reach map[*types.Func]bool) string {
+	out := shortFuncName(fn)
+	cur := fn
+	for steps := 0; steps < 6 && !direct[cur]; steps++ {
+		next := cur
+		for _, c := range cg.Callees(cur, false) {
+			if reach[c] {
+				next = c
+				break
+			}
+		}
+		if next == cur {
+			break
+		}
+		cur = next
+		out += " -> " + shortFuncName(cur)
+	}
+	for _, ext := range cg.Extern(cur) {
+		if isWallClock(ext) {
+			out += " -> time." + ext.Name()
+			break
+		}
+	}
+	return out
+}
+
+// packageDeterministic is the raw package-level determinism test used
+// when classifying other packages' functions (no directive marking).
+func packageDeterministic(pkg *Package) bool {
+	if deterministicPath(pkg.Path) {
+		return true
+	}
+	for _, byLine := range pkg.directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if d.Name == "deterministic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flb/internal/lint"
+)
+
+// TestWallTime covers rule 1 in an ordinary package: wall-clock calls
+// need an enclosing //flb:wallclock shell with a justification.
+func TestWallTime(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.WallTime, "walltime/a")
+}
+
+// TestWallTimeDeterministic covers rule 2: a //flb:deterministic package
+// may not reach the wall clock at all — not directly (the annotation is
+// not honored there) and not through a static call into another
+// package's justified shell.
+func TestWallTimeDeterministic(t *testing.T) {
+	lint.RunTest(t, "testdata", lint.WallTime, "walltime/det", "walltime/clock")
+}

@@ -74,17 +74,32 @@ type entry struct {
 // keep mapping to the cold schedule so later exact hits stay
 // byte-identical to cold runs.
 type Cache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//flb:guarded-by mu
 	entries []entry
-	full    map[Fingerprint]int
-	shape   map[Fingerprint]int // most recently hit/inserted entry per shape
-	head    int                 // most recently used, -1 when empty
-	tail    int                 // least recently used, -1 when empty
-	free    int                 // head of the free list, -1 when full
-	len     int
-	near    bool
-	re      *core.Rescheduler // private repair arena for the near-hit tier
-	stats   Stats
+	//flb:guarded-by mu
+	full map[Fingerprint]int
+	// shape is the most recently hit/inserted entry per shape.
+	//flb:guarded-by mu
+	shape map[Fingerprint]int
+	// head is the most recently used entry, -1 when empty.
+	//flb:guarded-by mu
+	head int
+	// tail is the least recently used entry, -1 when empty.
+	//flb:guarded-by mu
+	tail int
+	// free heads the free list, -1 when full.
+	//flb:guarded-by mu
+	free int
+	//flb:guarded-by mu
+	len int
+	//flb:guarded-by mu
+	near bool
+	// re is the private repair arena of the near-hit tier.
+	//flb:guarded-by mu
+	re *core.Rescheduler
+	//flb:guarded-by mu
+	stats Stats
 }
 
 // NewCache returns an empty cache holding at most capacity schedules
@@ -134,6 +149,8 @@ func (c *Cache) Len() int {
 }
 
 // Cap returns the cache's fixed capacity.
+//
+//flb:unguarded entries is allocated once in NewCache and never resized; its length is immutable
 func (c *Cache) Cap() int { return len(c.entries) }
 
 // Stats returns a snapshot of the cumulative counters.

@@ -163,6 +163,7 @@ func (e *Engine) Each(n int, fn func(w *Worker, i int) error) error {
 	}
 	close(jobs)
 	wg.Wait()
+	//flb:unguarded wg.Wait joined every writer; nothing races with this read
 	return be.err
 }
 
@@ -182,8 +183,10 @@ func (e *Engine) work(w *Worker, jobs <-chan int, fn func(w *Worker, i int) erro
 // batchErr keeps the failure with the lowest job index, so the batch's
 // error is deterministic under any interleaving.
 type batchErr struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//flb:guarded-by mu
 	idx int
+	//flb:guarded-by mu
 	err error
 }
 

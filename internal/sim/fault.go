@@ -475,6 +475,8 @@ func (fr *faultRun) revokeLost(c fault.Crash, noCheckpoint bool) {
 // repair computes the surviving processors' floors, hands the pending
 // suffix to the chooser's repairer, verifies the assignment is complete,
 // and adopts the new placement and execution order.
+//
+//flb:wallclock RepairEvent.WallNanos reports real repair cost to the observer; no simulated quantity depends on it
 func (fr *faultRun) repair(c fault.Crash, choose RepairChooser) error {
 	g := fr.s.Graph()
 	n := g.NumTasks()

@@ -263,6 +263,8 @@ func executeOne(s *Schedule, o *Options, sink Observer, re *core.Rescheduler) (*
 // (and the deprecated RunContext): full FLB reschedules while the
 // deadline has room, migrate-in-place after. A nil re builds a private
 // reschedule arena.
+//
+//flb:wallclock compares real repair cost against the context deadline to pick the degradation mode
 func deadlineChooser(ctx context.Context, re *core.Rescheduler) (sim.RepairChooser, error) {
 	// An expired deadline is not an abort: it means every repair degrades
 	// to migrate. Only cancellation stops the run.
