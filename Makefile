@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all lint fmt vet flblint lint-fix-check build test race fuzz bench throughput cache trace clean
+.PHONY: all lint fmt vet flblint lint-fix-check build test race fuzz bench throughput cache trace serve loadtest e2e clean
 
 all: lint build test
 
@@ -61,6 +61,20 @@ throughput:
 # open trace.json in chrome://tracing or ui.perfetto.dev.
 trace:
 	$(GO) run ./cmd/flbbench -exp fig2 -quick -trace trace.json
+
+# The hardened scheduling daemon (DESIGN.md §15) on :8080.
+serve:
+	$(GO) run ./cmd/flbd -addr :8080
+
+# Replay the built-in trace against a running `make serve` daemon;
+# machine-readable report lands in results/flbload.json.
+loadtest:
+	$(GO) run ./cmd/flbload -url http://localhost:8080 -rps 50 -duration 10s -o results/flbload.json
+
+# Full service end-to-end: nominal load, overload shedding, SIGTERM
+# drain under load (scripts/e2e_service.sh; CI's "service" job).
+e2e:
+	./scripts/e2e_service.sh
 
 clean:
 	$(GO) clean ./...

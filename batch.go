@@ -1,6 +1,7 @@
 package flb
 
 import (
+	"context"
 	"strings"
 
 	"flb/internal/machine"
@@ -8,6 +9,15 @@ import (
 	"flb/internal/obs"
 	"flb/internal/par"
 )
+
+// batchCtx resolves the context a batch dispatches under: WithContext if
+// given, else Background (dispatch never stops on its own).
+func batchCtx(o *Options) context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
+}
 
 // RunBatch schedules every graph in graphs on p processors, fanning the
 // jobs out over a worker pool (WithWorkers; GOMAXPROCS workers by
@@ -51,7 +61,7 @@ func RunBatchOn(graphs []*Graph, sys System, opts ...Option) ([]*Schedule, error
 	eng := par.New(o.workers)
 	out := make([]*Schedule, len(graphs))
 	tee := newSinkTee(o.observer, eng.Workers(), len(graphs))
-	err := eng.Each(len(graphs), func(w *par.Worker, i int) error {
+	err := eng.EachCtx(batchCtx(&o), len(graphs), func(w *par.Worker, i int) error {
 		if flbPath {
 			// Exact-tier cache lookup, unobserved jobs only: a hit's bytes
 			// equal the cold run's bytes, so results stay independent of
@@ -122,7 +132,7 @@ func ExecuteBatch(scheds []*Schedule, opts ...Option) ([]*ExecResult, error) {
 	eng := par.New(o.workers)
 	out := make([]*ExecResult, len(scheds))
 	tee := newSinkTee(o.observer, eng.Workers(), len(scheds))
-	err := eng.Each(len(scheds), func(w *par.Worker, i int) error {
+	err := eng.EachCtx(batchCtx(&o), len(scheds), func(w *par.Worker, i int) error {
 		r, err := executeOne(scheds[i], &o, tee.sink(i), w.Rescheduler())
 		if err != nil {
 			return err

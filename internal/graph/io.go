@@ -59,9 +59,17 @@ func sanitizeName(s string) string {
 	}, s)
 }
 
-// ReadText parses a graph in the text format. The returned graph is
-// validated.
+// ReadText parses a graph in the text format under the package's default
+// size limits. The returned graph is validated.
 func ReadText(r io.Reader) (*Graph, error) {
+	return ReadTextLimits(r, DefaultLimits())
+}
+
+// ReadTextLimits is ReadText under explicit size limits: parsing stops
+// with an error wrapping ErrTooLarge as soon as the input declares more
+// tasks or edges than lim allows, before their storage is built.
+func ReadTextLimits(r io.Reader, lim Limits) (*Graph, error) {
+	lim = lim.Normalized()
 	g := New("")
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -106,6 +114,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 			if id != g.NumTasks() {
 				return nil, fmt.Errorf("graph text line %d: task ids must be dense and increasing; got %d, want %d", lineNo, id, g.NumTasks())
 			}
+			if err := lim.checkTasks(g.NumTasks() + 1); err != nil {
+				return nil, fmt.Errorf("graph text line %d: %w", lineNo, err)
+			}
 			nid := g.AddTask(comp)
 			if len(fields) == 4 && fields[3] != "_" {
 				g.tasks[nid].Name = fields[3]
@@ -134,6 +145,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 			}
 			if first, dup := edgeLine[[2]int{from, to}]; dup {
 				return nil, fmt.Errorf("graph text line %d: duplicate edge %d->%d (first declared on line %d)", lineNo, from, to, first)
+			}
+			if err := lim.checkEdges(g.NumEdges() + 1); err != nil {
+				return nil, fmt.Errorf("graph text line %d: %w", lineNo, err)
 			}
 			edgeLine[[2]int{from, to}] = lineNo
 			g.AddEdge(from, to, comm)

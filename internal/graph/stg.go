@@ -31,8 +31,17 @@ import (
 // this reader keeps whatever structure the file describes (no nodes are
 // added or removed).
 
-// ReadSTG parses a task graph in STG format (classic or weighted).
+// ReadSTG parses a task graph in STG format (classic or weighted) under
+// the package's default size limits.
 func ReadSTG(r io.Reader) (*Graph, error) {
+	return ReadSTGLimits(r, DefaultLimits())
+}
+
+// ReadSTGLimits is ReadSTG under explicit size limits: a declared task
+// count (or an accumulated edge count) beyond lim fails with an error
+// wrapping ErrTooLarge before storage for it is allocated.
+func ReadSTGLimits(r io.Reader, lim Limits) (*Graph, error) {
+	lim = lim.Normalized()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	readLine := func() ([]string, bool) {
@@ -62,9 +71,8 @@ func ReadSTG(r io.Reader) (*Graph, error) {
 	}
 	// A declared count far beyond any real benchmark is a corrupt or
 	// hostile header; refuse it before allocating task storage for it.
-	const maxSTGTasks = 1 << 20
-	if n > maxSTGTasks {
-		return nil, fmt.Errorf("graph stg: task count %d exceeds limit %d", n, maxSTGTasks)
+	if err := lim.checkTasks(n); err != nil {
+		return nil, fmt.Errorf("graph stg: %w", err)
 	}
 
 	g := New("stg")
@@ -140,6 +148,9 @@ func ReadSTG(r io.Reader) (*Graph, error) {
 			}
 			if err := checkWeight(comm); err != nil {
 				return nil, fmt.Errorf("graph stg: edge %s->%d: %w", predTok, id, err)
+			}
+			if err := lim.checkEdges(g.NumEdges() + 1); err != nil {
+				return nil, fmt.Errorf("graph stg: %w", err)
 			}
 			g.AddEdge(pred, id, comm)
 		}

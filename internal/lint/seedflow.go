@@ -44,6 +44,7 @@ var seedPackages = map[string]bool{
 	"flb/internal/memo":     true,
 	"flb/internal/bench":    true,
 	"flb/internal/workload": true,
+	"flb/internal/svc":      true,
 }
 
 func runSeedFlow(p *Pass) {

@@ -36,6 +36,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -123,6 +124,13 @@ func New(n int) *Engine {
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return len(e.workers) }
 
+// Worker returns worker i's arenas for callers running their own
+// long-lived dispatch loop (the flbd service pool) instead of a batch.
+// The Each contract carries over: at any moment a given worker must be
+// driven by at most one goroutine, and external use must not overlap a
+// running Each on the same engine.
+func (e *Engine) Worker(i int) *Worker { return &e.workers[i] }
+
 // Each runs fn(worker, i) for every i in [0, n), fanning the indexes out
 // over the pool through a bounded queue. fn must write only into per-i
 // slots (plus the worker's own arenas); under that contract the results
@@ -135,12 +143,36 @@ func (e *Engine) Workers() int { return len(e.workers) }
 // the one the serial loop would have returned: the failure with the
 // lowest job index.
 func (e *Engine) Each(n int, fn func(w *Worker, i int) error) error {
+	return e.EachCtx(context.Background(), n, fn)
+}
+
+// EachCtx is Each under a context: once ctx is done, no further job is
+// dispatched — jobs already running (or already pulled by a worker) are
+// never interrupted, so fn keeps the batch invariants, but every job
+// that was still waiting for dispatch fails with ctx.Err() recorded at
+// its own index. The lowest-failing-index error contract therefore
+// holds under cancellation too: if every dispatched job succeeded, the
+// returned error is ctx.Err() (the first undispatched index is the
+// lowest failure); if an earlier job failed on its own, that error wins
+// exactly as in the serial loop. fn that wants cancellation inside a
+// job must watch ctx itself.
+func (e *Engine) EachCtx(ctx context.Context, n int, fn func(w *Worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	// A context that is already done dispatches nothing: the whole batch
+	// fails with ctx.Err() before any worker is consulted, so callers can
+	// rely on "canceled before Each means no job ran".
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
 	if len(e.workers) == 1 || n == 1 {
 		w := &e.workers[0]
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(w, i); err != nil {
 				return err
 			}
@@ -158,8 +190,21 @@ func (e *Engine) Each(n int, fn func(w *Worker, i int) error) error {
 			e.work(w, jobs, fn, &be)
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			// Everything not yet handed to the queue fails here, at its
+			// own index, with the context's error. Jobs sitting in the
+			// queue buffer still run to completion: they were admitted,
+			// and interrupting fn mid-flight is not part of the contract.
+			err := ctx.Err()
+			for ; i < n; i++ {
+				be.record(i, err)
+			}
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -152,6 +152,11 @@ func WithWorkers(n int) Option {
 // repair's cost — remaining crashes degrade to the cheap migrate-in-place
 // repair. A canceled context aborts the run; a plain exceeded deadline
 // does not. The plan's Repair mode is ignored when a context is set.
+//
+// RunBatch and ExecuteBatch additionally stop dispatching queued jobs
+// once ctx is done: running jobs complete, every undispatched job fails
+// with ctx.Err(), and the batch error keeps the lowest-failing-index
+// contract (see par.Engine.EachCtx).
 func WithContext(ctx context.Context) Option {
 	return func(o *Options) { o.ctx = ctx }
 }

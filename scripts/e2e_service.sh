@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end service check (DESIGN.md §15): build flbd and flbload,
+# replay traces against a live daemon, and assert the robustness
+# contract — nominal load is all 2xx, overload sheds 429 (never 5xx,
+# never client timeouts), and SIGTERM under load drains in-flight work
+# and exits 0. CI runs this as the "service" job; locally: make e2e.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${FLBD_PORT:-18080}"
+URL="http://127.0.0.1:${PORT}"
+OUT="${FLBD_RESULTS:-results}"
+BIN="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+mkdir -p "$OUT"
+go build -o "$BIN/flbd" ./cmd/flbd
+go build -o "$BIN/flbload" ./cmd/flbload
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$URL/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "flbd never became ready" >&2
+  return 1
+}
+
+# check <report.json> <smoke|overload>: the client-side acceptance gates.
+check() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1])); mode = sys.argv[2]
+eps = rep["endpoints"]; sched = eps["schedule"]
+bad = []
+total5xx = sum(e["server_5xx"] for e in eps.values())
+transport = sum(e["transport_errors"] for e in eps.values())
+if total5xx: bad.append(f"{total5xx} 5xx responses")
+if transport: bad.append(f"{transport} transport errors/timeouts")
+if sched["ok_2xx"] == 0: bad.append("no successful schedule responses")
+if mode == "overload" and sched["shed_429"] == 0:
+    bad.append("overload produced no 429 shedding")
+if mode == "smoke" and sched["shed_429"]:
+    bad.append(f'{sched["shed_429"]} sheds at nominal load')
+if bad:
+    print("e2e FAIL:", "; ".join(bad)); sys.exit(1)
+print(f'e2e ok ({mode}): 2xx={sched["ok_2xx"]} 429={sched["shed_429"]} '
+      f'accepted p99={sched["accepted_latency_ms"]["p99"]:.1f}ms')
+EOF
+}
+
+echo "== phase 1: nominal load, graceful shutdown =="
+"$BIN/flbd" -addr "127.0.0.1:${PORT}" 2>"$OUT/flbd-smoke.log" &
+FLBD=$!
+wait_ready
+"$BIN/flbload" -url "$URL" -rps 40 -duration 5s -o "$OUT/loadtest-smoke.json"
+check "$OUT/loadtest-smoke.json" smoke
+kill -TERM "$FLBD"
+rc=0; wait "$FLBD" || rc=$?
+if [ "$rc" -ne 0 ]; then echo "e2e FAIL: flbd exited $rc on SIGTERM" >&2; exit 1; fi
+grep -q 'drained; bye' "$OUT/flbd-smoke.log" || { echo "e2e FAIL: no drain confirmation in log" >&2; exit 1; }
+
+echo "== phase 2: overload sheds 429, SIGTERM under load drains =="
+printf 'submit lu 3000 16 1\nsubmit cholesky 3000 16 1\n' > "$BIN/heavy.trace"
+"$BIN/flbd" -addr "127.0.0.1:${PORT}" -workers 1 -queue 2 2>"$OUT/flbd-overload.log" &
+FLBD=$!
+wait_ready
+# Client timeout far above the bounded accepted latency (<= (queue+1) jobs
+# on one worker): any transport timeout means shedding failed its job.
+"$BIN/flbload" -url "$URL" -trace "$BIN/heavy.trace" -rps 200 -duration 4s \
+  -timeout 60s -o "$OUT/loadtest-overload.json"
+check "$OUT/loadtest-overload.json" overload
+
+# SIGTERM while load is still arriving: the daemon must finish what it
+# admitted and exit 0; the generator's post-drain errors are expected.
+"$BIN/flbload" -url "$URL" -trace "$BIN/heavy.trace" -rps 100 -duration 6s \
+  -timeout 60s -o "$OUT/loadtest-drain.json" >/dev/null &
+LOAD=$!
+sleep 1
+kill -TERM "$FLBD"
+rc=0; wait "$FLBD" || rc=$?
+if [ "$rc" -ne 0 ]; then echo "e2e FAIL: flbd exited $rc on SIGTERM under load" >&2; exit 1; fi
+grep -q 'drained; bye' "$OUT/flbd-overload.log" || { echo "e2e FAIL: no drain confirmation under load" >&2; exit 1; }
+wait "$LOAD" || true
+echo "e2e ok (drain): flbd drained under load and exited 0"
+
+echo "e2e: all phases passed"
