@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all lint fmt vet flblint lint-fix-check build test race fuzz bench throughput cache trace serve loadtest e2e clean
+.PHONY: all lint fmt vet flblint lint-fix-check build test race fuzz bench throughput cache hetero trace serve loadtest e2e clean
 
 all: lint build test
 
@@ -49,6 +49,11 @@ fuzz:
 # Schedule-cache latency sweep (cold vs warm vs near-hit, mixed streams).
 cache:
 	$(GO) run ./cmd/flbbench -exp cache
+
+# Related-machines sweep: speed-aware FLB vs the speed-blind deployment
+# at growing speed skew (DESIGN.md §16; committed run in results/).
+hetero:
+	$(GO) run ./cmd/flbbench -exp hetero
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig2|Scaling' -benchmem .

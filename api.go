@@ -77,9 +77,42 @@ func ParseGraph(s string) (*Graph, error) { return graph.ParseText(s) }
 // or weighted; see internal/graph's STG documentation).
 func ReadGraphSTG(r io.Reader) (*Graph, error) { return graph.ReadSTG(r) }
 
-// NewSystem returns a P-processor homogeneous clique system, the paper's
-// machine model.
-func NewSystem(p int) System { return machine.NewSystem(p) }
+// SystemOption configures a machine beyond its processor count; pass any
+// number to NewSystem.
+type SystemOption func(*System)
+
+// WithComm selects the system's communication model. The default is
+// Clique, the paper's contention-free model.
+func WithComm(m CommModel) SystemOption {
+	return func(s *System) { s.Comm = m }
+}
+
+// WithSpeeds makes the system a uniformly related machine: speeds[p] is
+// processor p's speed factor, and a task with weight w executes on p in
+// w/speeds[p] time (communication costs do not scale). The vector must
+// have one finite, positive entry per processor (validated when the
+// system is used). The slice is canonicalized and copied: an all-1.0
+// vector collapses to the homogeneous machine, and the caller's slice is
+// never aliased.
+func WithSpeeds(speeds []float64) SystemOption {
+	return func(s *System) { s.Speeds = machine.CanonicalSpeeds(speeds) }
+}
+
+// NewSystem returns a P-processor clique system — homogeneous by
+// default, the paper's machine model — configured by the options:
+//
+//	flb.NewSystem(4)                                          // paper's machine
+//	flb.NewSystem(4, flb.WithSpeeds([]float64{2, 2, 1, 1}))   // related machine
+//	flb.NewSystem(4, flb.WithComm(flb.LatencyBandwidth{Latency: 1, Bandwidth: 4}))
+func NewSystem(p int, opts ...SystemOption) System {
+	sys := machine.NewSystem(p)
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&sys)
+		}
+	}
+	return sys
+}
 
 // Trace runs FLB on g for p processors and returns the per-iteration
 // execution trace together with the schedule — the data of the paper's
@@ -90,7 +123,7 @@ func NewSystem(p int) System { return machine.NewSystem(p) }
 // wrapper does — or any other Observer for richer event access.
 func Trace(g *Graph, p int) ([]Step, *Schedule, error) {
 	var steps []Step
-	s, err := Run(g, p, WithObserver(NewStepRecorder(&steps)))
+	s, err := Run(g, WithSystem(NewSystem(p)), WithObserver(NewStepRecorder(&steps)))
 	return steps, s, err
 }
 
@@ -113,9 +146,9 @@ func NewAlgorithm(name string, seed int64) (Algorithm, error) {
 // RunWith schedules g on p processors with the named algorithm.
 //
 // Deprecated: RunWith is the positional-argument API. Use
-// Run(g, p, WithAlgorithm(name), WithSeed(seed)).
+// Run(g, WithSystem(NewSystem(p)), WithAlgorithm(name), WithSeed(seed)).
 func RunWith(name string, g *Graph, p int, seed int64) (*Schedule, error) {
-	return Run(g, p, WithAlgorithm(name), WithSeed(seed))
+	return Run(g, WithSystem(NewSystem(p)), WithAlgorithm(name), WithSeed(seed))
 }
 
 // SimResult is the outcome of a simulated self-timed execution of a

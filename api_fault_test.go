@@ -18,7 +18,7 @@ func faultSchedule(t *testing.T, seed int64, procs int) *flb.Schedule {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := flb.Run(g, procs)
+	s, err := flb.RunProcs(g, procs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ func TestQuickstartFlow(t *testing.T) {
 	g.AddEdge(b, d, 2)
 	g.AddEdge(c, d, 2)
 
-	s, err := flb.Run(g, 2)
+	s, err := flb.RunProcs(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestNewAlgorithmDirectUse(t *testing.T) {
 
 func TestSimulateFacade(t *testing.T) {
 	g := flb.PaperExample()
-	s, err := flb.Run(g, 2)
+	s, err := flb.RunProcs(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestSimulateFacade(t *testing.T) {
 
 func TestSimulateContendedFacade(t *testing.T) {
 	g := flb.PaperExample()
-	s, err := flb.Run(g, 2)
+	s, err := flb.RunProcs(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestSimulateContendedFacade(t *testing.T) {
 
 func TestRefineFacade(t *testing.T) {
 	g := flb.PaperExample()
-	s, err := flb.Run(g, 2)
+	s, err := flb.RunProcs(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,13 +19,14 @@ func batchCtx(o *Options) context.Context {
 	return context.Background()
 }
 
-// RunBatch schedules every graph in graphs on p processors, fanning the
-// jobs out over a worker pool (WithWorkers; GOMAXPROCS workers by
-// default). Each worker owns its own reusable scheduling arenas, so no
-// mutable state is shared across jobs; result i is byte-identical to what
-// the serial loop
+// RunBatch schedules every graph in graphs on the machine selected by
+// WithSystem (the single-processor clique by default), fanning the jobs
+// out over a worker pool (WithWorkers; GOMAXPROCS workers by default).
+// Each worker owns its own reusable scheduling arenas, so no mutable
+// state is shared across jobs; result i is byte-identical to what the
+// serial loop
 //
-//	for i, g := range graphs { out[i], err = flb.Run(g, p, opts...) }
+//	for i, g := range graphs { out[i], err = flb.Run(g, opts...) }
 //
 // would produce, regardless of the worker count or how jobs interleave.
 // Graphs may repeat across slots only if frozen (Graph.Freeze); distinct
@@ -36,13 +37,34 @@ func batchCtx(o *Options) context.Context {
 // (see the batch contract in internal/obs). If any job fails, RunBatch
 // returns the error of the lowest failing job index and the observer
 // receives no events.
-func RunBatch(graphs []*Graph, p int, opts ...Option) ([]*Schedule, error) {
-	return RunBatchOn(graphs, machine.NewSystem(p), opts...)
+func RunBatch(graphs []*Graph, opts ...Option) ([]*Schedule, error) {
+	o := buildOptions(opts)
+	return runBatchOptions(graphs, &o)
+}
+
+// RunBatchProcs schedules every graph on p homogeneous processors.
+//
+// Deprecated: RunBatchProcs is the positional form RunBatch had before
+// the machine became an option. Use
+// RunBatch(graphs, WithSystem(NewSystem(p)), opts...); the wrapper is
+// pinned bit-identical to it.
+func RunBatchProcs(graphs []*Graph, p int, opts ...Option) ([]*Schedule, error) {
+	return RunBatch(graphs, prependOption(WithSystem(machine.NewSystem(p)), opts)...)
 }
 
 // RunBatchOn is RunBatch on an explicit system.
+//
+// Deprecated: RunBatchOn is the positional form. Use
+// RunBatch(graphs, WithSystem(sys), opts...); the wrapper is pinned
+// bit-identical to it, and a WithSystem among opts overrides sys.
 func RunBatchOn(graphs []*Graph, sys System, opts ...Option) ([]*Schedule, error) {
-	o := buildOptions(opts)
+	return RunBatch(graphs, prependOption(WithSystem(sys), opts)...)
+}
+
+// runBatchOptions is the batch engine shared by RunBatch and its
+// deprecated positional wrappers.
+func runBatchOptions(graphs []*Graph, o *Options) ([]*Schedule, error) {
+	sys := o.system()
 	flbPath := o.algorithm == "" || strings.EqualFold(o.algorithm, "flb")
 	// Batch-wide knobs are validated once, before the pool spins up:
 	// every job would re-derive the same verdict on the same algorithm
@@ -61,7 +83,7 @@ func RunBatchOn(graphs []*Graph, sys System, opts ...Option) ([]*Schedule, error
 	eng := par.New(o.workers)
 	out := make([]*Schedule, len(graphs))
 	tee := newSinkTee(o.observer, eng.Workers(), len(graphs))
-	err := eng.EachCtx(batchCtx(&o), len(graphs), func(w *par.Worker, i int) error {
+	err := eng.EachCtx(batchCtx(o), len(graphs), func(w *par.Worker, i int) error {
 		if flbPath {
 			// Exact-tier cache lookup, unobserved jobs only: a hit's bytes
 			// equal the cold run's bytes, so results stay independent of

@@ -46,14 +46,14 @@ func TestRunBatchMatchesSerial(t *testing.T) {
 		opts := []flb.Option{flb.WithAlgorithm(alg), flb.WithSeed(7)}
 		want := make([]string, len(gs))
 		for i, g := range gs {
-			s, err := flb.Run(g, 8, opts...)
+			s, err := flb.RunProcs(g, 8, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
 			want[i] = scheduleBytes(t, s)
 		}
 		for _, w := range batchWorkerCounts {
-			got, err := flb.RunBatch(gs, 8, append(opts[:len(opts):len(opts)], flb.WithWorkers(w))...)
+			got, err := flb.RunBatchProcs(gs, 8, append(opts[:len(opts):len(opts)], flb.WithWorkers(w))...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,7 +107,7 @@ func executeOptionCases() []struct {
 // deterministic, so DeepEqual is byte-level equivalence.
 func TestExecuteBatchMatchesSerial(t *testing.T) {
 	gs := batchGraphs(t)
-	scheds, err := flb.RunBatch(gs, 8, flb.WithWorkers(2))
+	scheds, err := flb.RunBatchProcs(gs, 8, flb.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestBatchObserverStream(t *testing.T) {
 	}
 	want := trace(func(o flb.Observer) error {
 		for _, g := range gs {
-			s, err := flb.Run(g, 8, flb.WithObserver(o))
+			s, err := flb.RunProcs(g, 8, flb.WithObserver(o))
 			if err != nil {
 				return err
 			}
@@ -163,7 +163,7 @@ func TestBatchObserverStream(t *testing.T) {
 	})
 	for _, w := range batchWorkerCounts {
 		got := trace(func(o flb.Observer) error {
-			scheds, err := flb.RunBatch(gs, 8, flb.WithObserver(o), flb.WithWorkers(w))
+			scheds, err := flb.RunBatchProcs(gs, 8, flb.WithObserver(o), flb.WithWorkers(w))
 			if err != nil {
 				return err
 			}
@@ -181,13 +181,13 @@ func TestBatchObserverStream(t *testing.T) {
 func TestBatchErrorIsSerial(t *testing.T) {
 	gs := batchGraphs(t)
 	rec := flb.NewRecorder()
-	_, err := flb.RunBatch(gs, 8,
+	_, err := flb.RunBatchProcs(gs, 8,
 		flb.WithAlgorithm("no-such-algorithm"), flb.WithWorkers(4), flb.WithObserver(rec))
 	if err == nil {
 		t.Fatal("RunBatch accepted an unknown algorithm")
 	}
 	var wantErr error
-	if _, wantErr = flb.Run(gs[0], 8, flb.WithAlgorithm("no-such-algorithm")); wantErr == nil {
+	if _, wantErr = flb.RunProcs(gs[0], 8, flb.WithAlgorithm("no-such-algorithm")); wantErr == nil {
 		t.Fatal("Run accepted an unknown algorithm")
 	}
 	if err.Error() != wantErr.Error() {
@@ -250,12 +250,12 @@ func TestRunBatchPerJobAllocBudget(t *testing.T) {
 	}
 	measure := func(gs []*flb.Graph) float64 {
 		for i := 0; i < 2; i++ { // warm the engine and arenas
-			if _, err := flb.RunBatch(gs, 8, flb.WithWorkers(1)); err != nil {
+			if _, err := flb.RunBatchProcs(gs, 8, flb.WithWorkers(1)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		return testing.AllocsPerRun(10, func() {
-			if _, err := flb.RunBatch(gs, 8, flb.WithWorkers(1)); err != nil {
+			if _, err := flb.RunBatchProcs(gs, 8, flb.WithWorkers(1)); err != nil {
 				t.Fatal(err)
 			}
 		})

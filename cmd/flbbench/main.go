@@ -59,7 +59,7 @@ type jsonExperiment struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("flbbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, throughput, cache, or all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, hetero, contention, optimality, throughput, cache, or all")
 		quick    = fs.Bool("quick", false, "scaled-down configuration (V≈200, 2 seeds)")
 		targetV  = fs.Int("v", 0, "override the approximate task count (default 2000; 200 with -quick)")
 		seeds    = fs.Int("seeds", 0, "override instances per (family, CCR) (default 5; 2 with -quick, and -exp all trims heavy sweeps to 2)")
@@ -292,6 +292,20 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if want("hetero") {
+		ran = true
+		hcfg := cfg
+		if *exp == "all" && !*quick {
+			hcfg.Seeds = 2
+		}
+		r, err := bench.Hetero(hcfg, nil, 8)
+		if err != nil {
+			return err
+		}
+		if err := emit("hetero", "", r); err != nil {
+			return err
+		}
+	}
 	if want("contention") {
 		ran = true
 		ncfg := cfg
@@ -372,7 +386,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, contention, optimality, throughput, cache, or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, hetero, contention, optimality, throughput, cache, or all)", *exp)
 	}
 	if traceClose != nil {
 		if err := traceClose(); err != nil {

@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"flb"
@@ -37,6 +39,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		demo      = fs.Bool("demo", false, "use the paper's Fig. 1 example graph")
 		algoName  = fs.String("algo", "flb", "scheduling algorithm (see -list)")
 		procs     = fs.Int("procs", 2, "number of processors")
+		speedsArg = fs.String("speeds", "", "comma-separated per-processor speed factors, e.g. 2,2,1,1 (fewer than -procs entries are padded with 1; default homogeneous)")
 		seed      = fs.Int64("seed", 1, "seed for randomized tie-breaking (mcp)")
 		gantt     = fs.Bool("gantt", false, "print an ASCII Gantt chart")
 		width     = fs.Int("width", 80, "Gantt chart width in characters")
@@ -90,6 +93,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
+	sys := flb.NewSystem(*procs)
+	if *speedsArg != "" {
+		speeds, err := parseSpeeds(*speedsArg, *procs)
+		if err != nil {
+			return err
+		}
+		sys = flb.NewSystem(*procs, flb.WithSpeeds(speeds))
+	}
+
 	var observer flb.Observer
 	var chrome *flb.ChromeTrace
 	var traceFile *os.File
@@ -113,7 +125,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		// The Table 1 layout is specific to FLB's decision events; -algo is
 		// ignored here like it was by the old boolean -trace flag.
 		var rows []flb.Step
-		sched, err := flb.Run(g, *procs,
+		sched, err := flb.Run(g, flb.WithSystem(sys),
 			flb.WithObserver(flb.TeeObservers(flb.NewStepRecorder(&rows), observer)))
 		if err != nil {
 			return err
@@ -122,7 +134,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		s = sched
 	} else {
 		var err error
-		s, err = flb.Run(g, *procs,
+		s, err = flb.Run(g, flb.WithSystem(sys),
 			flb.WithAlgorithm(*algoName), flb.WithSeed(*seed), flb.WithObserver(observer))
 		if err != nil {
 			return err
@@ -192,6 +204,31 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseSpeeds parses a comma-separated speed vector for p processors.
+// Between 1 and p entries are accepted — missing trailing processors run
+// at speed 1 — and every entry must be a finite number > 0.
+func parseSpeeds(arg string, p int) ([]float64, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) > p {
+		return nil, fmt.Errorf("-speeds has %d entries for %d processors", len(parts), p)
+	}
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-speeds entry %q: %v", part, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, fmt.Errorf("-speeds entry %d = %g, want finite and > 0", i, v)
+		}
+		speeds[i] = v
+	}
+	return speeds, nil
 }
 
 // writeFile creates path and streams write into it.

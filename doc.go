@@ -25,9 +25,13 @@
 //	a := g.AddTask(2)
 //	b := g.AddTask(3)
 //	g.AddEdge(a, b, 1)
-//	s, err := flb.Run(g, 4) // FLB on 4 processors
+//	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(4))) // FLB on 4 processors
 //	if err != nil { ... }
 //	fmt.Println(s.Makespan(), s.Gantt(60))
+//
+// Machines are built with NewSystem and selected per run with
+// WithSystem; WithSpeeds generalizes the paper's homogeneous model to
+// uniformly related processors (per-processor speed factors).
 //
 // See the runnable programs under examples/ and the CLI tools under cmd/.
 package flb

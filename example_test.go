@@ -18,7 +18,7 @@ func ExampleRun() {
 	g.AddEdge(b, d, 1)
 	g.AddEdge(c, d, 1)
 
-	s, err := flb.Run(g, 2)
+	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)))
 	if err != nil {
 		panic(err)
 	}
@@ -81,7 +81,7 @@ edge 0 1 1
 // the options API.
 func ExampleExecute() {
 	g := flb.PaperExample()
-	s, _ := flb.Run(g, 2)
+	s, _ := flb.Run(g, flb.WithSystem(flb.NewSystem(2)))
 	r, err := flb.Execute(s, flb.WithJitter(0.3, 0.3), flb.WithSeed(7))
 	if err != nil {
 		panic(err)
@@ -95,7 +95,7 @@ func ExampleExecute() {
 // with the FLB rescheduler.
 func ExampleExecute_faults() {
 	g := flb.PaperExample()
-	s, _ := flb.Run(g, 2)
+	s, _ := flb.Run(g, flb.WithSystem(flb.NewSystem(2)))
 	plan := flb.FaultPlan{
 		Crashes: []flb.Crash{{Proc: 1, Time: 5}},
 		Repair:  flb.RepairReschedule,
@@ -114,7 +114,7 @@ func ExampleExecute_faults() {
 func ExampleWithObserver() {
 	g := flb.PaperExample()
 	tel := flb.NewTelemetry()
-	s, err := flb.Run(g, 2, flb.WithObserver(tel))
+	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)), flb.WithObserver(tel))
 	if err != nil {
 		panic(err)
 	}
@@ -132,7 +132,7 @@ func ExampleWithObserver() {
 // ExampleSimulate executes a schedule with exact runtime costs.
 func ExampleSimulate() {
 	g := flb.PaperExample()
-	s, _ := flb.Run(g, 2)
+	s, _ := flb.Run(g, flb.WithSystem(flb.NewSystem(2)))
 	r, err := flb.Simulate(s, 0, 0, 1)
 	if err != nil {
 		panic(err)

@@ -33,7 +33,8 @@ func main() {
 			family, g.NumTasks(), g.NumEdges(), g.CCR(), g.LayerWidth(), *procs)
 
 		// MCP is the paper's normalization reference for Fig. 4.
-		ref, err := flb.RunWith("mcp", g, *procs, *seed)
+		ref, err := flb.Run(g, flb.WithSystem(flb.NewSystem(*procs)),
+			flb.WithAlgorithm("mcp"), flb.WithSeed(*seed))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,7 +18,9 @@ func main() {
 	fmt.Print(g.TextString())
 	fmt.Println()
 
-	steps, s, err := flb.Trace(g, 2)
+	var steps []flb.Step
+	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)),
+		flb.WithObserver(flb.NewStepRecorder(&steps)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -31,13 +31,11 @@ func main() {
 		sys   flb.System
 	}{
 		{"clique (paper model)", flb.NewSystem(*procs)},
-		{"latency/bandwidth", flb.System{
-			P:    *procs,
-			Comm: flb.LatencyBandwidth{Latency: *latency, Bandwidth: *bandwidth},
-		}},
+		{"latency/bandwidth", flb.NewSystem(*procs,
+			flb.WithComm(flb.LatencyBandwidth{Latency: *latency, Bandwidth: *bandwidth}))},
 	}
 	for _, m := range models {
-		s, err := flb.RunOn(g, m.sys)
+		s, err := flb.Run(g, flb.WithSystem(m.sys))
 		if err != nil {
 			log.Fatal(err)
 		}

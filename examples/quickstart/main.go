@@ -27,7 +27,7 @@ func main() {
 	g.AddEdge(edge, blend, 2)
 	g.AddEdge(blend, encode, 1)
 
-	s, err := flb.Run(g, 2)
+	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,8 +41,9 @@ func main() {
 	fmt.Printf("makespan %g, speedup %.2f, efficiency %.2f\n",
 		m.Makespan, m.Speedup, m.Efficiency)
 
-	// The same graph on one processor, for reference: speedup denominator.
-	s1, err := flb.Run(g, 1)
+	// The same graph on one processor — Run's default machine — for
+	// reference: the speedup denominator.
+	s1, err := flb.Run(g)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,7 +34,8 @@ func main() {
 		"algorithm", "planned", "actual(mean)", "actual(max)", "slowdown")
 
 	for _, name := range flb.Algorithms() {
-		s, err := flb.RunWith(name, g, *procs, *seed)
+		s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(*procs)),
+			flb.WithAlgorithm(name), flb.WithSeed(*seed))
 		if err != nil {
 			log.Fatal(err)
 		}

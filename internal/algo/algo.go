@@ -111,7 +111,25 @@ func (rt *ReadyTracker) Complete(t int) []int {
 // that start time. Ties break toward the smaller processor index. This is
 // the O(P) inner step of the classic list schedulers (MCP, ETF, DLS); FLB's
 // entire point is avoiding this scan.
+//
+// On uniformly related machines (sys.Heterogeneous) the selection key
+// becomes the earliest *finish* time EST + w(t)/speed(p) — an early start
+// on a slow processor no longer implies an early finish — while the
+// returned time stays the start time on the winning processor. With fewer
+// than two distinct speeds the comparisons are the seed's EST comparisons,
+// bit for bit.
 func BestProcessor(s *schedule.Schedule, t int) (machine.Proc, float64) {
+	if s.System().Heterogeneous() {
+		bestP, bestEST := 0, s.EST(t, 0)
+		bestEFT := bestEST + s.System().ExecTime(s.Graph().Comp(t), 0)
+		for p := 1; p < s.NumProcs(); p++ {
+			est := s.EST(t, p)
+			if eft := est + s.System().ExecTime(s.Graph().Comp(t), p); eft < bestEFT {
+				bestP, bestEST, bestEFT = p, est, eft
+			}
+		}
+		return bestP, bestEST
+	}
 	bestP, bestEST := 0, s.EST(t, 0)
 	for p := 1; p < s.NumProcs(); p++ {
 		if est := s.EST(t, p); est < bestEST {

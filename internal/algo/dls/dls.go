@@ -35,6 +35,12 @@ func (d DLS) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	rt := algo.NewReadyTracker(g)
 	ready := append([]int(nil), rt.Initial()...)
 
+	// On uniformly related machines the dynamic level carries Sih & Lee's
+	// processor speed adjustment Δ(t,p) = w(t) − w(t)/speed(p) (their
+	// median execution time taken as the unit-speed cost): fast processors
+	// gain level, slow ones lose it. On homogeneous machines the seed's
+	// bit-identical sl − est comparisons are kept.
+	het := sys.Heterogeneous()
 	for !s.Complete() {
 		bestIdx, bestProc := -1, -1
 		var bestDL, bestEST float64
@@ -42,6 +48,9 @@ func (d DLS) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 			for p := 0; p < sys.P; p++ {
 				est := s.EST(t, p)
 				dl := sl[t] - est
+				if het {
+					dl += g.Comp(t) - sys.ExecTime(g.Comp(t), p)
+				}
 				better := bestIdx == -1 || dl > bestDL
 				//flb:exact dynamic-level ties fire only on bit-identical values; ids then give a total order
 				if !better && dl == bestDL {

@@ -57,15 +57,24 @@ func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	rt := &st.rt
 	ready := append(st.ready, rt.Initial()...)
 
+	// On uniformly related machines the committed pair minimizes the
+	// estimated *finish* time est + w/speed (ETF's criterion degenerates
+	// to it on homogeneous machines, where the scan below keeps the seed's
+	// bit-identical EST comparisons).
+	het := sys.Heterogeneous()
 	for s.Graph().NumTasks() > 0 && !s.Complete() {
 		bestIdx, bestProc := -1, -1
-		var bestEST float64
+		var bestEST, bestKey float64
 		for i, t := range ready {
 			for p := 0; p < sys.P; p++ {
 				est := s.EST(t, p)
-				better := bestIdx == -1 || est < bestEST
-				//flb:exact tie-breaking fires only on bit-identical ESTs, matching the heap comparators
-				if !better && est == bestEST {
+				key := est
+				if het {
+					key += sys.ExecTime(g.Comp(t), p)
+				}
+				better := bestIdx == -1 || key < bestKey
+				//flb:exact tie-breaking fires only on bit-identical keys, matching the heap comparators
+				if !better && key == bestKey {
 					bt := ready[bestIdx]
 					// Tie: larger bottom level, then smaller task id, then
 					// smaller processor id — fully deterministic.
@@ -79,7 +88,7 @@ func (e ETF) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 					}
 				}
 				if better {
-					bestIdx, bestProc, bestEST = i, p, est
+					bestIdx, bestProc, bestEST, bestKey = i, p, est, key
 				}
 			}
 		}

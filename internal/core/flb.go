@@ -30,6 +30,32 @@
 // (Scheduler); the stateless FLB.Schedule entry point draws arenas from a
 // sync.Pool, so its steady-state cost is the fresh output Schedule plus
 // O(log) heap work — no per-run heap, tracker or level allocations.
+//
+// # Uniformly related machines
+//
+// When the system carries at least two distinct speed factors
+// (machine.System.Heterogeneous), the selection criterion generalizes
+// from earliest start time to earliest finish time: EFT(t,p) =
+// max(EMT/LMT, PRT(p)) + w(t)/speed(p). Starts alone can no longer rank
+// processors — a slow processor often offers the earliest start but a
+// late finish. Two structures change (DESIGN.md §16):
+//
+//   - the active-processor heap is keyed by the EFT (not EST) of each
+//     processor's head EP task, and the EP-vs-non-EP comparison is on
+//     EFT, keeping the paper's non-EP-wins-ties rule;
+//   - the all-processors PRT heap is split into one PRT heap per *speed
+//     class* (processors sharing a speed factor). Within a class the
+//     earliest-idle processor still minimizes EFT, so the best non-EP
+//     placement is argmin over classes of max(LMT, PRT(head_c)) + w/s_c —
+//     K = #classes heap peeks instead of a P-way scan, preserving the
+//     paper's complexity with a +K term per iteration.
+//
+// The per-processor EP heaps keep their EMT ordering: on one processor
+// every task shares a speed, but distinct weights mean the head-by-EMT
+// choice is a heuristic rather than exact under heterogeneity (§16
+// discusses why this is acceptable). With fewer than two distinct speeds
+// the arena takes the homogeneous decision path — bit-identical to the
+// seed implementation — and only the execution times divide by speed.
 package core
 
 import (
@@ -125,8 +151,21 @@ type flbState struct {
 	emtEP  []pq.Heap // per proc: EP tasks keyed by (EMT, -BL)
 	lmtEP  []pq.Heap // per proc: EP tasks keyed by (LMT, -BL)
 	nonEP  pq.Heap   // non-EP tasks keyed by (LMT, -BL)
-	active pq.Heap   // active procs keyed by (EST of head EP task, -BL(head))
-	all    pq.Heap   // all procs keyed by (PRT)
+	active pq.Heap   // active procs keyed by (EST/EFT of head EP task, -BL(head))
+	all    pq.Heap   // all procs keyed by (PRT); homogeneous path only
+
+	// Related-machines state (hetero only). Processors are partitioned
+	// into speed classes; the non-EP processor choice minimizes EFT over
+	// the per-class earliest-idle processors instead of peeking `all`.
+	hetero bool
+	//flb:keep fully rebuilt by buildClasses on heterogeneous runs; never read on homogeneous ones
+	classSpeed []float64 // distinct speed factors, descending
+	//flb:keep fully rebuilt by buildClasses on heterogeneous runs; never read on homogeneous ones
+	classOf []int // per proc: index into classSpeed
+	//flb:keep re-sized by buildClasses, then reset by each class heap's Init on heterogeneous runs
+	classPos []int // shared position store of the class heaps
+	//flb:keep fully rebuilt by buildClasses on heterogeneous runs; never read on homogeneous ones
+	classPRT []pq.Heap // per class: procs keyed by (PRT)
 
 	ready algo.ReadyTracker
 }
@@ -167,7 +206,64 @@ func (st *flbState) reset(f FLB, g *graph.Graph, sys machine.System, s *schedule
 	st.nonEP.Grow(n)
 	st.active.Grow(p)
 	st.all.Grow(p)
+	st.hetero = sys.Heterogeneous()
+	if st.hetero {
+		st.buildClasses(p)
+	}
 	st.ready.Reset(g)
+}
+
+// buildClasses partitions the processors of a related machine into speed
+// classes: classSpeed holds the distinct speed factors in descending
+// order (faster classes first, so EFT ties across classes resolve toward
+// the faster processor), classOf maps each processor to its class, and
+// classPRT holds one empty PRT-keyed heap per class. Runs at reset time;
+// with sufficient capacity from a previous run it performs no
+// allocations.
+func (st *flbState) buildClasses(p int) {
+	st.classSpeed = st.classSpeed[:0]
+	for i := 0; i < p; i++ {
+		sp := st.sys.Speeds[i]
+		seen := false
+		for _, cs := range st.classSpeed {
+			if cs == sp { //flb:exact class membership is exact speed equality, matching Heterogeneous()
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			st.classSpeed = append(st.classSpeed, sp)
+		}
+	}
+	// Insertion sort, descending: K is tiny (K <= P, typically a handful).
+	for i := 1; i < len(st.classSpeed); i++ {
+		v := st.classSpeed[i]
+		j := i - 1
+		for j >= 0 && st.classSpeed[j] < v {
+			st.classSpeed[j+1] = st.classSpeed[j]
+			j--
+		}
+		st.classSpeed[j+1] = v
+	}
+	k := len(st.classSpeed)
+	st.classOf = growInt(st.classOf, p)
+	for i := 0; i < p; i++ {
+		for c := 0; c < k; c++ {
+			if st.classSpeed[c] == st.sys.Speeds[i] { //flb:exact see above
+				st.classOf[i] = c
+				break
+			}
+		}
+	}
+	st.classPos = pq.GrowPos(st.classPos, p)
+	if cap(st.classPRT) < k {
+		st.classPRT = make([]pq.Heap, k)
+	} else {
+		st.classPRT = st.classPRT[:k]
+	}
+	for c := 0; c < k; c++ {
+		st.classPRT[c].Init(st.classPos)
+	}
 }
 
 // release drops the references tying the arena to the last run's graph
@@ -187,8 +283,14 @@ func (st *flbState) run() {
 	if st.sink != nil {
 		st.sink.Begin(obs.Begin{Kind: obs.KindSchedule, Tasks: n, Procs: st.sys.P})
 	}
-	for p := 0; p < st.sys.P; p++ {
-		st.all.Push(p, pq.Key{Primary: 0})
+	if st.hetero {
+		for p := 0; p < st.sys.P; p++ {
+			st.classPRT[st.classOf[p]].Push(p, pq.Key{Primary: 0})
+		}
+	} else {
+		for p := 0; p < st.sys.P; p++ {
+			st.all.Push(p, pq.Key{Primary: 0})
+		}
 	}
 	// Entry tasks have no enabling processor; they are non-EP with LMT 0.
 	for _, t := range st.ready.Initial() {
@@ -239,6 +341,54 @@ func (st *flbState) estEP(t int, p machine.Proc) float64 {
 	return math.Max(st.emt[t], st.s.PRT(p))
 }
 
+// execTime returns the execution time of task t on processor p under the
+// system's speed factors (w(t) itself on homogeneous systems).
+//
+//flb:hotpath
+func (st *flbState) execTime(t int, p machine.Proc) float64 {
+	return st.sys.ExecTime(st.g.Comp(t), p)
+}
+
+// activeKey returns the primary active-heap key of EP task t on its
+// enabling processor p: its EST on the homogeneous path (the paper's
+// key), its EFT on the related-machines path, where start times alone
+// cannot rank processors of different speeds.
+//
+//flb:hotpath
+func (st *flbState) activeKey(t int, p machine.Proc) float64 {
+	if st.hetero {
+		return st.estEP(t, p) + st.execTime(t, p)
+	}
+	return st.estEP(t, p)
+}
+
+// bestNonEPProc picks the processor for non-EP task t on a related
+// machine: the earliest-idle processor of the class minimizing EFT =
+// max(LMT(t), PRT) + w(t)/speed. Ties across classes resolve toward the
+// faster class (classSpeed is descending and the comparison is strict).
+// It returns the processor, the start time there, and the EFT key.
+//
+//flb:hotpath
+func (st *flbState) bestNonEPProc(t int) (machine.Proc, float64, float64) {
+	w := st.g.Comp(t)
+	lmt := st.lmt[t]
+	var bp machine.Proc
+	var bestEst float64
+	bestEFT := math.Inf(1)
+	for c := range st.classPRT {
+		p, _, found := st.classPRT[c].Peek()
+		if !found {
+			continue // unreachable: every processor stays in its class heap
+		}
+		est := math.Max(lmt, st.s.PRT(p))
+		eft := est + w/st.classSpeed[c]
+		if eft < bestEFT {
+			bp, bestEst, bestEFT = p, est, eft
+		}
+	}
+	return bp, bestEst, bestEFT
+}
+
 // blKey returns the secondary heap key implementing the bottom-level
 // tie-break (negated: larger bottom level first), or 0 under the ablation.
 //
@@ -253,35 +403,47 @@ func (st *flbState) blKey(t int) float64 {
 // scheduleTask selects and returns the next (task, processor, start time)
 // per the paper's ScheduleTask procedure: it compares the best EP-type
 // pair against the best non-EP-type pair, preferring the non-EP pair on a
-// start-time tie because its communication is already overlapped with
-// computation.
+// tie because its communication is already overlapped with computation.
+// The comparison key is the start time on the homogeneous path (the
+// paper's criterion) and the finish time on the related-machines path,
+// where a slow processor's early start can hide a late finish.
 //
 //flb:hotpath
 func (st *flbState) scheduleTask(iter int) (task int, proc machine.Proc, est float64, ok bool) {
 	haveEP := false
 	var t1 int
 	var p1 machine.Proc
-	var est1 float64
+	var est1, cmp1 float64
 	if p, _, found := st.active.Peek(); found {
 		if t, _, found2 := st.emtEP[p].Peek(); found2 {
 			haveEP = true
 			t1, p1 = t, p
 			est1 = st.estEP(t1, p1)
+			cmp1 = est1
+			if st.hetero {
+				cmp1 = est1 + st.execTime(t1, p1)
+			}
 		}
 	}
 	haveNonEP := false
 	var t2 int
 	var p2 machine.Proc
-	var est2 float64
+	var est2, cmp2 float64
 	if t, _, found := st.nonEP.Peek(); found {
-		p, _, _ := st.all.Peek()
 		haveNonEP = true
-		t2, p2 = t, p
-		est2 = math.Max(st.lmt[t2], st.s.PRT(p2))
+		t2 = t
+		if st.hetero {
+			p2, est2, cmp2 = st.bestNonEPProc(t2)
+		} else {
+			p, _, _ := st.all.Peek()
+			p2 = p
+			est2 = math.Max(st.lmt[t2], st.s.PRT(p2))
+			cmp2 = est2
+		}
 	}
 
-	//flb:exact start-time tie rule (§4.1): the ablation flips the winner only on bit-identical ESTs
-	epWins := haveEP && (!haveNonEP || est1 < est2 || (st.preferEP && est1 == est2))
+	//flb:exact start-time tie rule (§4.1): the ablation flips the winner only on bit-identical keys
+	epWins := haveEP && (!haveNonEP || cmp1 < cmp2 || (st.preferEP && cmp1 == cmp2))
 	chooseEP := false
 	switch {
 	case epWins:
@@ -301,7 +463,7 @@ func (st *flbState) scheduleTask(iter int) (task int, proc machine.Proc, est flo
 			Task:       task,
 			Proc:       int(proc),
 			Start:      est,
-			Finish:     est + st.g.Comp(task),
+			Finish:     est + st.execTime(task, proc),
 			HaveEP:     haveEP,
 			EPTask:     t1,
 			EPProc:     int(p1),
@@ -311,8 +473,8 @@ func (st *flbState) scheduleTask(iter int) (task int, proc machine.Proc, est flo
 			NonEPProc:  int(p2),
 			NonEPStart: est2,
 			ChoseEP:    chooseEP,
-			//flb:exact the Tie flag reports the §4.1 tie rule, which fires only on bit-identical ESTs
-			Tie:         haveEP && haveNonEP && est1 == est2,
+			//flb:exact the Tie flag reports the §4.1 tie rule, which fires only on bit-identical keys
+			Tie:         haveEP && haveNonEP && cmp1 == cmp2,
 			NonEPLen:    st.nonEP.Len(),
 			ActiveProcs: st.active.Len(),
 		})
@@ -356,11 +518,15 @@ func (st *flbState) updateTaskLists(p machine.Proc) {
 //flb:hotpath
 func (st *flbState) updateProcLists(p machine.Proc) {
 	if t, _, found := st.emtEP[p].Peek(); found {
-		st.active.PushOrUpdate(p, pq.Key{Primary: st.estEP(t, p), Secondary: st.blKey(t)})
+		st.active.PushOrUpdate(p, pq.Key{Primary: st.activeKey(t, p), Secondary: st.blKey(t)})
 	} else {
 		st.active.Remove(p)
 	}
-	st.all.Update(p, pq.Key{Primary: st.s.PRT(p)})
+	if st.hetero {
+		st.classPRT[st.classOf[p]].Update(p, pq.Key{Primary: st.s.PRT(p)})
+	} else {
+		st.all.Update(p, pq.Key{Primary: st.s.PRT(p)})
+	}
 }
 
 // updateReadyTasks implements the paper's UpdateReadyTasks: classify every
@@ -428,6 +594,6 @@ func (st *flbState) classifyReady(nt int) {
 	// The enabling processor may have become active, or its best EP task
 	// may have changed.
 	if head, _, found := st.emtEP[ep].Peek(); found {
-		st.active.PushOrUpdate(ep, pq.Key{Primary: st.estEP(head, ep), Secondary: st.blKey(head)})
+		st.active.PushOrUpdate(ep, pq.Key{Primary: st.activeKey(head, ep), Secondary: st.blKey(head)})
 	}
 }

@@ -23,18 +23,30 @@ import (
 // execution (a cold crash at time zero), the repair IS a fresh FLB run
 // on the surviving sub-machine: the embedded Scheduler arena computes it
 // and placements map back through the survivor indices. This is valid
-// because the machine model is homogeneous — communication cost does not
-// depend on processor identity (machine.RemoteCost).
+// because communication cost does not depend on processor identity
+// (machine.RemoteCost); on a related machine the sub-system additionally
+// carries the survivors' speed factors, compacted into an arena-owned
+// slice.
+//
+// On uniformly related machines a crash is the limit case speed → 0: a
+// dead processor executes nothing (infinite remaining exec time), so
+// dropping it from the survivor set and letting the speed-aware
+// criterion re-place its work — typically onto slower but live survivors
+// — is exactly the related-machines generalization of the paper's
+// repair. The selection key follows the scheduler's: earliest start on
+// homogeneous survivors, earliest finish (start + w/speed) when the
+// survivors have distinct speeds.
 //
 // A Rescheduler is not safe for concurrent use.
 type Rescheduler struct {
-	sc      *Scheduler
-	plan    *schedule.Schedule
-	ready   []int
-	pending []int
-	inPlan  []bool
-	procMap []machine.Proc
-	sink    obs.Sink
+	sc        *Scheduler
+	plan      *schedule.Schedule
+	ready     []int
+	pending   []int
+	inPlan    []bool
+	procMap   []machine.Proc
+	subSpeeds []float64
+	sink      obs.Sink
 }
 
 // Observe sets the sink receiving one obs.SchedStep per repair placement
@@ -85,12 +97,20 @@ func (r *Rescheduler) coldStart(req *fault.Request) bool {
 // and maps the placements back to actual processor indices.
 func (r *Rescheduler) repairCold(req *fault.Request, alive int) error {
 	r.procMap = r.procMap[:0]
+	r.subSpeeds = r.subSpeeds[:0]
 	for p, ok := range req.Alive {
 		if ok {
 			r.procMap = append(r.procMap, machine.Proc(p))
+			if req.Sys.Speeds != nil {
+				r.subSpeeds = append(r.subSpeeds, req.Sys.Speeds[p])
+			}
 		}
 	}
-	sub, err := r.sc.Schedule(req.G, machine.System{P: alive, Comm: req.Sys.Comm})
+	subSys := machine.System{P: alive, Comm: req.Sys.Comm}
+	if req.Sys.Speeds != nil {
+		subSys.Speeds = r.subSpeeds
+	}
+	sub, err := r.sc.Schedule(req.G, subSys)
 	if err != nil {
 		return err
 	}
@@ -151,32 +171,40 @@ func (r *Rescheduler) repairSuffix(req *fault.Request) error {
 			r.ready = append(r.ready, t)
 		}
 	}
+	// The selection key: earliest start on homogeneous survivors (the
+	// paper's criterion), earliest finish when the survivors' speeds
+	// differ — the homogeneous comparisons stay bit-identical to the seed.
+	het := sys.Heterogeneous()
 	for placed := 0; placed < len(req.Todo); placed++ {
 		bi, bt, bp := -1, -1, machine.Proc(-1)
-		best := 0.0
+		best, bestStart := 0.0, 0.0
 		for i, t := range r.ready {
 			for p := 0; p < sys.P; p++ {
 				if !req.Alive[p] {
 					continue
 				}
 				est := r.est(req, t, p)
-				if bi < 0 || betterRepair(est, best, bl, t, bt, p, bp) {
-					bi, bt, bp, best = i, t, p, est
+				key := est
+				if het {
+					key += sys.ExecTime(g.Comp(t), p)
+				}
+				if bi < 0 || betterRepair(key, best, bl, t, bt, p, bp) {
+					bi, bt, bp, best, bestStart = i, t, p, key, est
 				}
 			}
 		}
 		if bi < 0 {
 			return fmt.Errorf("core: reschedule stuck with %d tasks left — pending suffix is cyclic", len(req.Todo)-placed)
 		}
-		r.plan.Place(bt, bp, best)
+		r.plan.Place(bt, bp, bestStart)
 		req.Assign(bt, bp)
 		if r.sink != nil {
 			r.sink.SchedStep(obs.SchedStep{
 				Iter:   placed,
 				Task:   bt,
 				Proc:   int(bp),
-				Start:  best,
-				Finish: best + g.Comp(bt),
+				Start:  bestStart,
+				Finish: bestStart + sys.ExecTime(g.Comp(bt), bp),
 			})
 		}
 		r.inPlan[bt] = false
@@ -278,18 +306,30 @@ func (r *Rescheduler) ReplanSuffix(g *graph.Graph, sys machine.System, base *sch
 			r.readyPush(bl, t)
 		}
 	}
+	het := sys.Heterogeneous()
 	for placed := k; placed < n; placed++ {
 		bt := r.readyPop(bl)
 		if bt < 0 {
 			return nil, fmt.Errorf("core: ReplanSuffix stuck with %d tasks left — suffix is cyclic", n-placed)
 		}
-		bp, best := machine.Proc(0), r.plan.EST(bt, 0)
+		// Earliest start on homogeneous systems (bit-identical to the seed
+		// near-hit tier); earliest finish on related machines.
+		bp, bestStart := machine.Proc(0), r.plan.EST(bt, 0)
+		bestKey := bestStart
+		if het {
+			bestKey += sys.ExecTime(g.Comp(bt), 0)
+		}
 		for p := 1; p < sys.P; p++ {
-			if est := r.plan.EST(bt, machine.Proc(p)); est < best {
-				bp, best = machine.Proc(p), est
+			est := r.plan.EST(bt, machine.Proc(p))
+			key := est
+			if het {
+				key += sys.ExecTime(g.Comp(bt), machine.Proc(p))
+			}
+			if key < bestKey {
+				bp, bestStart, bestKey = machine.Proc(p), est, key
 			}
 		}
-		r.plan.Place(bt, bp, best)
+		r.plan.Place(bt, bp, bestStart)
 		r.inPlan[bt] = false
 		for _, ei := range g.SuccEdges(bt) {
 			to := g.Edge(ei).To
@@ -394,8 +434,9 @@ func (r *Rescheduler) est(req *fault.Request, t int, p machine.Proc) float64 {
 }
 
 // betterRepair reports whether candidate (est, t, p) beats the incumbent
-// (best, bt, bp): earlier start, then larger bottom level (the paper's
-// priority), then smaller task id, then smaller processor index.
+// (best, bt, bp): earlier selection key (start time, or finish time on
+// related machines), then larger bottom level (the paper's priority),
+// then smaller task id, then smaller processor index.
 //
 //flb:exact the repair tie-break is a total order over (start, level, id, proc); equal keys must compare bit-identically or repairs lose determinism
 //flb:hotpath

@@ -1,14 +1,28 @@
 // Package machine models the target distributed-memory system of the FLB
-// paper: a set of P homogeneous processors connected in a clique topology
-// with contention-free inter-processor communication (paper §2).
+// paper: a set of P processors connected in a clique topology with
+// contention-free inter-processor communication (paper §2).
 //
 // The CommModel interface generalizes the paper's cost model (the raw edge
 // weight between distinct processors, zero within a processor) so that the
 // examples can also explore a latency/bandwidth network without touching
 // the schedulers.
+//
+// # Uniformly related processors
+//
+// The paper's machine is homogeneous. This package generalizes it to the
+// uniformly related model (Q | prec | Cmax): every processor p carries a
+// speed factor s(p) > 0 and executing task t on p takes w(t)/s(p) time.
+// A nil Speeds slice — the zero value, and what NewSystem builds — is the
+// homogeneous machine, and all-1.0 speeds are canonicalized to nil
+// (CanonicalSpeeds) so the two spell the *same* system everywhere a
+// System is hashed or compared. Communication costs are a property of the
+// network, not the endpoints, and do not scale with speed.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Proc identifies a processor, in [0, P).
 type Proc = int
@@ -66,17 +80,125 @@ type System struct {
 	P int
 	// Comm is the communication model; nil means Clique.
 	Comm CommModel
+	// Speeds holds the per-processor speed factors of a uniformly related
+	// machine: executing a task with weight w on processor p takes
+	// w/Speeds[p] time. nil means homogeneous (every speed 1). When
+	// non-nil it must have exactly P entries, each finite and > 0.
+	// Construct it with CanonicalSpeeds so that all-1.0 vectors collapse
+	// to nil and homogeneous systems stay bit-for-bit comparable (memo
+	// fingerprints included) however they were built.
+	Speeds []float64
 }
 
-// NewSystem returns a P-processor clique system.
+// NewSystem returns a P-processor homogeneous clique system.
 func NewSystem(p int) System { return System{P: p, Comm: Clique{}} }
+
+// CanonicalSpeeds returns the canonical form of a speed vector: nil when
+// speeds is empty or every entry is exactly 1.0 (the homogeneous machine),
+// otherwise a copy of speeds. The copy keeps callers free to reuse their
+// slice without aliasing the System.
+func CanonicalSpeeds(speeds []float64) []float64 {
+	unit := true
+	for _, s := range speeds {
+		if s != 1.0 { // exact: only exactly-1.0 vectors collapse to the homogeneous form
+			unit = false
+			break
+		}
+	}
+	if unit {
+		return nil
+	}
+	out := make([]float64, len(speeds))
+	copy(out, speeds)
+	return out
+}
 
 // Validate reports configuration errors.
 func (s System) Validate() error {
 	if s.P < 1 {
 		return fmt.Errorf("machine: P = %d, want >= 1", s.P)
 	}
+	if s.Speeds != nil {
+		if len(s.Speeds) != s.P {
+			return fmt.Errorf("machine: %d speeds for P = %d processors", len(s.Speeds), s.P)
+		}
+		for p, sp := range s.Speeds {
+			if math.IsNaN(sp) || math.IsInf(sp, 0) || sp <= 0 {
+				return fmt.Errorf("machine: speed[%d] = %v, want finite and > 0", p, sp)
+			}
+		}
+	}
 	return nil
+}
+
+// Speed returns processor p's speed factor (1 on homogeneous systems).
+func (s System) Speed(p Proc) float64 {
+	if s.Speeds == nil {
+		return 1
+	}
+	return s.Speeds[p]
+}
+
+// ExecTime returns the execution time of a task with computation weight w
+// on processor p: w/speed(p). On homogeneous systems (and for speed
+// exactly 1, since w/1.0 == w bit-exactly in IEEE 754) it is w itself, so
+// the homogeneous timing path is unchanged by the related-machines
+// generalization.
+func (s System) ExecTime(w float64, p Proc) float64 {
+	if s.Speeds == nil {
+		return w
+	}
+	return w / s.Speeds[p]
+}
+
+// MaxSpeed returns the fastest processor's speed factor (1 on homogeneous
+// systems). The sequential-time lower bound of a related machine is
+// TotalComp/MaxSpeed — the whole graph on the fastest processor.
+func (s System) MaxSpeed() float64 {
+	if s.Speeds == nil {
+		return 1
+	}
+	max := s.Speeds[0]
+	for _, sp := range s.Speeds[1:] {
+		if sp > max {
+			max = sp
+		}
+	}
+	return max
+}
+
+// UnitSpeeds reports whether every speed factor is exactly 1 — nil
+// Speeds, or a vector CanonicalSpeeds would collapse to nil. Such a
+// system is *the* homogeneous machine: schedules, timings and memo
+// fingerprints must all coincide with the nil-Speeds form.
+func (s System) UnitSpeeds() bool {
+	for _, sp := range s.Speeds {
+		if sp != 1.0 { // exact, see CanonicalSpeeds
+			return false
+		}
+	}
+	return true
+}
+
+// Heterogeneous reports whether the system has at least two distinct
+// speed factors — i.e. whether speed can change a scheduling *decision*.
+// A uniformly scaled machine (all speeds k) executes k times faster but
+// ranks processors exactly as the homogeneous machine does, so schedulers
+// keep the paper's decision path for it and only the timing (ExecTime)
+// differs. This is what pins the homogeneous bit-identity contract: with
+// Heterogeneous() false, every scheduler in the module takes the same
+// branch structure as the seed homogeneous implementation.
+func (s System) Heterogeneous() bool {
+	if s.Speeds == nil {
+		return false
+	}
+	first := s.Speeds[0]
+	for _, sp := range s.Speeds[1:] {
+		if sp != first { // exact: distinct-speed detection gates the decision path
+			return true
+		}
+	}
+	return false
 }
 
 // CommCost returns the delay of a message with weight w from processor

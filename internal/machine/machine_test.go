@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -69,5 +70,80 @@ func TestSystemValidate(t *testing.T) {
 		if err := (System{P: p}).Validate(); err == nil {
 			t.Errorf("Validate accepted P=%d", p)
 		}
+	}
+}
+
+func TestSpeedsValidate(t *testing.T) {
+	if err := (System{P: 2, Speeds: []float64{2, 1}}).Validate(); err != nil {
+		t.Errorf("valid speeds rejected: %v", err)
+	}
+	bad := [][]float64{
+		{2},                                 // wrong length
+		{2, 1, 1},                           // wrong length
+		{0, 1},                              // zero
+		{-1, 1},                             // negative
+		{math.NaN(), 1},                     // NaN
+		{math.Inf(1), 1},                    // +Inf
+		{1, math.Inf(-1)},                   // -Inf
+		{math.SmallestNonzeroFloat64, -0.0}, // negative zero is not > 0
+	}
+	for _, speeds := range bad {
+		if err := (System{P: 2, Speeds: speeds}).Validate(); err == nil {
+			t.Errorf("Validate accepted speeds %v", speeds)
+		}
+	}
+}
+
+func TestCanonicalSpeeds(t *testing.T) {
+	if got := CanonicalSpeeds(nil); got != nil {
+		t.Errorf("CanonicalSpeeds(nil) = %v", got)
+	}
+	if got := CanonicalSpeeds([]float64{1, 1, 1}); got != nil {
+		t.Errorf("all-1.0 did not collapse to nil: %v", got)
+	}
+	in := []float64{2, 1}
+	got := CanonicalSpeeds(in)
+	if got == nil || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("CanonicalSpeeds(%v) = %v", in, got)
+	}
+	in[0] = 99 // the canonical form must be a copy, not an alias
+	if got[0] != 2 {
+		t.Errorf("CanonicalSpeeds aliased its input")
+	}
+}
+
+func TestSpeedAccessors(t *testing.T) {
+	homo := NewSystem(3)
+	if homo.Speed(1) != 1 || homo.MaxSpeed() != 1 || !homo.UnitSpeeds() || homo.Heterogeneous() {
+		t.Errorf("homogeneous accessors: Speed=%g MaxSpeed=%g Unit=%v Het=%v",
+			homo.Speed(1), homo.MaxSpeed(), homo.UnitSpeeds(), homo.Heterogeneous())
+	}
+	if got := homo.ExecTime(7, 2); got != 7 {
+		t.Errorf("homogeneous ExecTime = %g, want 7", got)
+	}
+
+	het := System{P: 3, Speeds: []float64{4, 1, 2}}
+	if het.Speed(0) != 4 || het.MaxSpeed() != 4 {
+		t.Errorf("Speed/MaxSpeed = %g/%g, want 4/4", het.Speed(0), het.MaxSpeed())
+	}
+	if got := het.ExecTime(8, 0); got != 2 {
+		t.Errorf("ExecTime(8, speed 4) = %g, want 2", got)
+	}
+	if het.UnitSpeeds() || !het.Heterogeneous() {
+		t.Errorf("het accessors: Unit=%v Het=%v", het.UnitSpeeds(), het.Heterogeneous())
+	}
+
+	// Uniformly scaled: not unit, but not heterogeneous either — the
+	// decision path stays homogeneous, only the timing scales.
+	scaled := System{P: 2, Speeds: []float64{3, 3}}
+	if scaled.UnitSpeeds() || scaled.Heterogeneous() {
+		t.Errorf("scaled accessors: Unit=%v Het=%v, want false/false",
+			scaled.UnitSpeeds(), scaled.Heterogeneous())
+	}
+
+	// All-1.0 speeds are the homogeneous machine in every observable way.
+	unit := System{P: 2, Speeds: []float64{1, 1}}
+	if !unit.UnitSpeeds() || unit.Heterogeneous() || unit.ExecTime(5, 0) != 5 {
+		t.Errorf("unit-vector accessors diverge from nil")
 	}
 }

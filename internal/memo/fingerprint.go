@@ -52,6 +52,15 @@ import (
 // new ones.
 const fpVersion = 1
 
+// fpSpeedsTag extends the v1 layout for uniformly related machines
+// (layout v2): systems with a non-unit speed vector absorb this marker
+// followed by one word per processor speed. Homogeneous systems — nil
+// Speeds or all exactly 1.0 — absorb nothing extra and therefore hash
+// bit-identically to layout v1, so warm caches survive the upgrade. The
+// marker word cannot be confused with the comm-name length or V that
+// bracket it in the stream (both are bounded far below 2^63).
+const fpSpeedsTag = 0xa24baed4963ee407
+
 // Fingerprint is a 128-bit hash of a scheduling problem.
 type Fingerprint struct {
 	Hi, Lo uint64
@@ -171,6 +180,16 @@ func KeyOf(g *graph.Graph, sys machine.System, algorithm string, seed int64) Key
 		commName = sys.Comm.Name()
 	}
 	sh.str(commName, false)
+	// Uniformly related machines: the speed vector changes schedules, so
+	// it is part of the problem identity. Unit-speed systems skip the
+	// block entirely — however the homogeneous machine was spelled
+	// (nil or all-1.0 speeds), it must keep its layout-v1 hash.
+	if !sys.UnitSpeeds() {
+		sh.word(fpSpeedsTag)
+		for _, sp := range sys.Speeds {
+			sh.word(math.Float64bits(sp))
+		}
+	}
 	v, e := g.NumTasks(), g.NumEdges()
 	sh.word(uint64(v))
 	sh.word(uint64(e))

@@ -111,6 +111,64 @@ func TestKeyOfSensitivity(t *testing.T) {
 	}
 }
 
+// TestKeyOfSpeeds pins the related-machines fingerprint contract:
+// however the homogeneous machine is spelled (nil Speeds or an explicit
+// all-1.0 vector), its layout-v1 hash is unchanged — warm caches survive
+// the upgrade — while any non-unit speed vector is part of the problem
+// identity and moves both fingerprints.
+func TestKeyOfSpeeds(t *testing.T) {
+	g := memoGraph(5, 40)
+	base := KeyOf(g, machine.NewSystem(4), "flb", 1)
+
+	unit := machine.System{P: 4, Speeds: []float64{1, 1, 1, 1}}
+	if k := KeyOf(g, unit, "flb", 1); k != base {
+		t.Errorf("explicit unit speed vector moved the fingerprint: %v vs %v", k, base)
+	}
+
+	het := machine.System{P: 4, Speeds: []float64{2, 2, 1, 1}}
+	hk := KeyOf(g, het, "flb", 1)
+	if hk.Full == base.Full || hk.Shape == base.Shape {
+		t.Errorf("speed vector did not move both fingerprints")
+	}
+	// Speeds are positional: a permuted vector is a different machine.
+	perm := machine.System{P: 4, Speeds: []float64{2, 1, 2, 1}}
+	if k := KeyOf(g, perm, "flb", 1); k.Full == hk.Full || k.Shape == hk.Shape {
+		t.Errorf("permuted speed vector shares the fingerprint")
+	}
+	// A uniformly scaled machine keeps the homogeneous decision path but
+	// runs different absolute timings — it must not share keys with the
+	// unit machine.
+	scaled := machine.System{P: 4, Speeds: []float64{2, 2, 2, 2}}
+	if k := KeyOf(g, scaled, "flb", 1); k.Full == base.Full || k.Shape == base.Shape {
+		t.Errorf("uniformly scaled machine shares the homogeneous fingerprint")
+	}
+}
+
+// TestKeyOfSpeedsCollision extends the collision sweep to speed vectors:
+// many distinct skews of the same problem must produce distinct Full
+// fingerprints.
+func TestKeyOfSpeedsCollision(t *testing.T) {
+	g := memoGraph(6, 30)
+	seen := make(map[Fingerprint][]float64)
+	for p := 2; p <= 6; p++ {
+		for r := 1; r <= 64; r++ {
+			speeds := make([]float64, p)
+			for i := range speeds {
+				speeds[i] = 1
+				if i < p/2 {
+					speeds[i] = 1 + float64(r)/8
+				}
+			}
+			sys := machine.System{P: p, Speeds: machine.CanonicalSpeeds(speeds)}
+			k := KeyOf(g, sys, "flb", 1)
+			if prev, dup := seen[k.Full]; dup {
+				t.Fatalf("Full collision between speeds %v (P=%d) and %v", speeds, p, prev)
+			}
+			seen[k.Full] = append([]float64{float64(p)}, speeds...)
+		}
+	}
+}
+
 // TestKeyOfWindowPermutation: KeyOf hashes per-task predecessor windows,
 // so any edge insertion order producing the same windows — the only
 // structure the schedulers observe — fingerprints identically, while

@@ -37,7 +37,7 @@ func (s *Schedule) PlaceCopy(t int, p machine.Proc, st float64) {
 	if s.dups == nil {
 		s.dups = make(map[int][]Copy, 4)
 	}
-	c := Copy{Proc: p, Start: st, Finish: st + s.g.Comp(t)}
+	c := Copy{Proc: p, Start: st, Finish: st + s.sys.ExecTime(s.g.Comp(t), p)}
 	s.dups[t] = append(s.dups[t], c)
 	if c.Finish > s.prt[p] {
 		s.prt[p] = c.Finish
@@ -116,8 +116,8 @@ func (s *Schedule) ValidateDup() error {
 	byProc := make([][]ival, s.sys.P)
 	for t := 0; t < s.g.NumTasks(); t++ {
 		for _, c := range s.Copies(t) {
-			if c.Finish != c.Start+s.g.Comp(t) {
-				return fmt.Errorf("schedule(%s): task %d copy has FT != ST+comp", s.Algorithm, t)
+			if c.Finish != c.Start+s.sys.ExecTime(s.g.Comp(t), c.Proc) {
+				return fmt.Errorf("schedule(%s): task %d copy has FT != ST+comp/speed", s.Algorithm, t)
 			}
 			if c.Start < -tolerance {
 				return fmt.Errorf("schedule(%s): task %d copy starts at %v < 0", s.Algorithm, t, c.Start)

@@ -8,8 +8,10 @@ type Metrics struct {
 	Algorithm string
 	Procs     int
 	Makespan  float64
-	// SeqTime is the sequential execution time (sum of computation costs),
-	// the numerator of speedup.
+	// SeqTime is the sequential execution time — the whole graph on the
+	// best single processor: sum of computation costs divided by the
+	// fastest speed factor (plain sum on homogeneous machines). It is the
+	// numerator of speedup.
 	SeqTime float64
 	// Speedup = SeqTime / Makespan (paper Fig. 3).
 	Speedup float64
@@ -25,7 +27,7 @@ type Metrics struct {
 // ComputeMetrics derives Metrics from a complete schedule.
 func (s *Schedule) ComputeMetrics() Metrics {
 	mk := s.Makespan()
-	seq := s.g.TotalComp()
+	seq := s.g.TotalComp() / s.sys.MaxSpeed()
 	m := Metrics{
 		Algorithm: s.Algorithm,
 		Procs:     s.sys.P,

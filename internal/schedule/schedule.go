@@ -133,7 +133,7 @@ func (s *Schedule) Place(t int, p machine.Proc, st float64) {
 	}
 	s.proc[t] = p
 	s.start[t] = st
-	s.finish[t] = st + s.g.Comp(t)
+	s.finish[t] = st + s.sys.ExecTime(s.g.Comp(t), p)
 	s.order[p] = append(s.order[p], t)
 	if s.finish[t] > s.prt[p] {
 		s.prt[p] = s.finish[t]
@@ -227,6 +227,16 @@ func (s *Schedule) DataReady(t int, p machine.Proc) float64 {
 // task t when appended to processor p (paper §2).
 func (s *Schedule) EST(t int, p machine.Proc) float64 {
 	return math.Max(s.DataReady(t, p), s.prt[p])
+}
+
+// EFT returns EST(t,p) + w(t)/speed(p): the earliest finish time of ready
+// task t when appended to processor p. On uniformly related machines this
+// is the speed-aware selection key — a slow processor may offer the
+// earliest *start* while a fast one offers the earliest *finish*. On
+// homogeneous systems it is EST shifted by the constant w(t), so ranking
+// processors by EFT degenerates to ranking by EST.
+func (s *Schedule) EFT(t int, p machine.Proc) float64 {
+	return s.EST(t, p) + s.sys.ExecTime(s.g.Comp(t), p)
 }
 
 // CloneFor returns a deep copy of s rebound to g and sys: the copy's

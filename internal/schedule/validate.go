@@ -34,8 +34,8 @@ func (s *Schedule) Validate() error {
 		if s.start[t] < -tolerance {
 			return fmt.Errorf("schedule(%s): task %d starts at %v < 0", s.Algorithm, t, s.start[t])
 		}
-		if got, want := s.finish[t], s.start[t]+s.g.Comp(t); got != want {
-			return fmt.Errorf("schedule(%s): task %d FT = %v, want ST+comp = %v", s.Algorithm, t, got, want)
+		if got, want := s.finish[t], s.start[t]+s.sys.ExecTime(s.g.Comp(t), s.proc[t]); got != want {
+			return fmt.Errorf("schedule(%s): task %d FT = %v, want ST+comp/speed = %v", s.Algorithm, t, got, want)
 		}
 	}
 	// Processor exclusivity: per processor, sort by start time (insertion-

@@ -163,7 +163,7 @@ func RunContendedObserved(s *schedule.Schedule, net Network, sink obs.Sink) (*Re
 			start = now
 		}
 		res.Start[t] = start
-		res.Finish[t] = start + g.Comp(t)
+		res.Finish[t] = start + sys.ExecTime(g.Comp(t), s.Proc(t))
 		if sink != nil {
 			sink.TaskStart(obs.TaskEvent{Task: t, Proc: int(s.Proc(t)), Start: start, Finish: res.Finish[t]})
 		}
@@ -178,7 +178,7 @@ func RunContendedObserved(s *schedule.Schedule, net Network, sink obs.Sink) (*Re
 		if e.kind == 0 { // task finished
 			t := e.id
 			done++
-			res.Utilization[s.Proc(t)] += g.Comp(t)
+			res.Utilization[s.Proc(t)] += sys.ExecTime(g.Comp(t), s.Proc(t))
 			if res.Finish[t] > res.Makespan {
 				res.Makespan = res.Finish[t]
 			}

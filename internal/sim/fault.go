@@ -345,8 +345,12 @@ func (fr *faultRun) runEpoch(horizon float64) {
 		fr.executed[t] = true
 		fr.done++
 		fr.res.Start[t] = start
-		fr.res.Finish[t] = start + fr.comp[t]
-		fr.res.Utilization[p] += fr.comp[t]
+		// Speed divides the perturbed cost, matching the planner and Run.
+		// revoke subtracts the identical quantum: curProc[t] only changes
+		// in repair, after any revocation of t's current execution.
+		exec := fr.sys.ExecTime(fr.comp[t], p)
+		fr.res.Finish[t] = start + exec
+		fr.res.Utilization[p] += exec
 		fr.rTries[t], fr.rDelay[t] = tries, delay
 		fr.res.Retries += tries
 		fr.res.RetryDelay += delay
@@ -419,7 +423,7 @@ func (fr *faultRun) emitTask(t int, p machine.Proc) {
 func (fr *faultRun) revoke(t int) {
 	fr.executed[t] = false
 	fr.done--
-	fr.res.Utilization[fr.curProc[t]] -= fr.comp[t]
+	fr.res.Utilization[fr.curProc[t]] -= fr.sys.ExecTime(fr.comp[t], fr.curProc[t])
 	fr.res.Retries -= fr.rTries[t]
 	fr.res.RetryDelay -= fr.rDelay[t]
 	fr.rTries[t], fr.rDelay[t] = 0, 0

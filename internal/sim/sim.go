@@ -199,11 +199,15 @@ func RunObserved(s *schedule.Schedule, perturbComp, perturbComm Perturb, sink ob
 			}
 		}
 		res.Start[t] = start
-		res.Finish[t] = start + comp[t]
+		// Perturbation draws on the estimated weight; the speed factor of
+		// the executing processor divides the perturbed cost, exactly as
+		// the planner divided the estimate (machine.System.ExecTime).
+		exec := sys.ExecTime(comp[t], s.Proc(t))
+		res.Finish[t] = start + exec
 		if res.Finish[t] > res.Makespan {
 			res.Makespan = res.Finish[t]
 		}
-		res.Utilization[s.Proc(t)] += comp[t]
+		res.Utilization[s.Proc(t)] += exec
 		if sink != nil {
 			span := obs.TaskEvent{Task: t, Proc: int(s.Proc(t)), Start: start, Finish: res.Finish[t]}
 			sink.TaskStart(span)

@@ -255,6 +255,16 @@ func (s *Server) parseSubmission(r *http.Request) (*job, int, string) {
 		procs = p
 	}
 	j.sys = machine.NewSystem(procs)
+	if v := q.Get("speeds"); v != "" {
+		speeds, err := parseSpeeds(v, procs)
+		if err != nil {
+			return nil, 400, err.Error()
+		}
+		// CanonicalSpeeds collapses all-1.0 vectors to nil, so spelling
+		// the homogeneous machine as ?speeds=1,1,... keeps its cache
+		// fingerprint (and its warm entries).
+		j.sys.Speeds = machine.CanonicalSpeeds(speeds)
+	}
 
 	if v := q.Get("algo"); v != "" && !strings.EqualFold(v, "flb") {
 		if _, err := registry.New(v, 0); err != nil {
@@ -354,6 +364,30 @@ func parseJitter(v string) (float64, float64, error) {
 		return eps[0], eps[0], nil
 	}
 	return eps[0], eps[1], nil
+}
+
+// parseSpeeds parses the comma-separated per-processor speed vector of a
+// uniformly related machine. Between 1 and procs entries are accepted —
+// missing trailing processors run at speed 1 — and every entry must be a
+// finite number > 0, so a hostile vector is a 400 at the boundary and
+// never a scheduler 5xx.
+func parseSpeeds(v string, procs int) ([]float64, error) {
+	parts := strings.Split(v, ",")
+	if len(parts) > procs {
+		return nil, fmt.Errorf("bad speeds %q: %d entries for %d processors", v, len(parts), procs)
+	}
+	speeds := make([]float64, procs)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	for i, part := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+			return nil, fmt.Errorf("bad speeds %q: entry %d must be a finite number > 0", v, i)
+		}
+		speeds[i] = f
+	}
+	return speeds, nil
 }
 
 // parseCrash parses "proc@time" into a fail-stop crash.

@@ -224,6 +224,43 @@ func TestScheduleRegistryAlgoAndFormats(t *testing.T) {
 	}
 }
 
+// TestScheduleSpeeds: the speeds parameter builds a uniformly related
+// machine (here uniformly twice as fast, halving the chain's makespan),
+// and the all-1.0 spelling of the homogeneous machine canonicalizes to
+// the nil-speeds form — sharing its cache entry.
+func TestScheduleSpeeds(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 1, QueueCap: 4, CacheCap: -1})
+	body := textBody("g", 4)
+
+	status, b := e.submit(t, "?procs=2", body)
+	if status != 200 {
+		t.Fatalf("homogeneous status = %d, body %s", status, b)
+	}
+	mHomo := decodeSchedule(t, b).Makespan
+
+	status, b = e.submit(t, "?procs=2&speeds=2,2", body)
+	if status != 200 {
+		t.Fatalf("speeds status = %d, body %s", status, b)
+	}
+	if m := decodeSchedule(t, b).Makespan; m != mHomo/2 {
+		t.Errorf("uniformly doubled speeds: makespan %v, want %v", m, mHomo/2)
+	}
+
+	// ?speeds=1,1 is the same problem as no speeds at all: it must be
+	// served from the cache entry the first submission created.
+	status, b = e.submit(t, "?procs=2&speeds=1,1", body)
+	if status != 200 {
+		t.Fatalf("unit speeds status = %d, body %s", status, b)
+	}
+	r := decodeSchedule(t, b)
+	if !r.Cached {
+		t.Error("all-1.0 speeds missed the homogeneous cache entry")
+	}
+	if r.Makespan != mHomo {
+		t.Errorf("unit-speeds makespan %v != homogeneous %v", r.Makespan, mHomo)
+	}
+}
+
 func TestExecuteDeterministicSeeds(t *testing.T) {
 	e := newTestServer(t, Config{Workers: 1, QueueCap: 4, BaseSeed: 7})
 	// First request: id 1, so the default execution seed must be
@@ -510,6 +547,14 @@ func TestParseHardening(t *testing.T) {
 		{"bad jitter", "?jitter=1.5", okBody, 400, "bad jitter"},
 		{"bad crash syntax", "?crash=zero", okBody, 400, "bad crash"},
 		{"crash proc out of range", "?procs=4&crash=9@1", okBody, 400, "proc must be in"},
+		{"valid speeds", "?procs=4&speeds=2,1,1,1", okBody, 200, ""},
+		{"short speeds padded", "?procs=4&speeds=2", okBody, 200, ""},
+		{"too many speeds", "?procs=2&speeds=1,2,3", okBody, 400, "bad speeds"},
+		{"non-numeric speed", "?procs=2&speeds=2,fast", okBody, 400, "bad speeds"},
+		{"zero speed", "?procs=2&speeds=0,1", okBody, 400, "must be a finite"},
+		{"negative speed", "?procs=2&speeds=-1,1", okBody, 400, "must be a finite"},
+		{"NaN speed", "?procs=2&speeds=NaN,1", okBody, 400, "must be a finite"},
+		{"infinite speed", "?procs=2&speeds=+Inf,1", okBody, 400, "must be a finite"},
 	}
 	var want4xx, want413, wantOK int64
 	for _, tc := range cases {

@@ -60,12 +60,14 @@ func NewStepRecorder(steps *[]Step) *StepRecorder { return core.NewStepRecorder(
 // dropped.
 func TeeObservers(a, b Observer) Observer { return obs.Tee(a, b) }
 
-// Options collects the knobs of Run, RunOn and Execute. The zero value —
-// the FLB algorithm, seed 1, exact costs, no faults, no observer — is
-// what a bare Run(g, p) uses. Construct it implicitly through Option
-// values; it has no exported fields so knobs can grow without breaking
-// callers.
+// Options collects the knobs of Run, RunBatch and Execute. The zero
+// value — the FLB algorithm on a single-processor clique, seed 1, exact
+// costs, no faults, no observer — is what a bare Run(g) uses. Construct
+// it implicitly through Option values; it has no exported fields so
+// knobs can grow without breaking callers.
 type Options struct {
+	sys       System
+	hasSys    bool
 	algorithm string
 	seed      int64
 	hasSeed   bool
@@ -79,11 +81,12 @@ type Options struct {
 	cache     *memo.Cache
 }
 
-// Option configures one knob; pass any number to Run, RunOn or Execute.
+// Option configures one knob; pass any number to Run, RunBatch or
+// Execute.
 type Option func(*Options)
 
-// DefaultSeed is the seed Run, RunOn and Execute use when WithSeed is not
-// given (it matches the flbsched default).
+// DefaultSeed is the seed Run, RunBatch and Execute use when WithSeed is
+// not given (it matches the flbsched default).
 const DefaultSeed int64 = 1
 
 func buildOptions(opts []Option) Options {
@@ -97,6 +100,39 @@ func buildOptions(opts []Option) Options {
 		o.seed = DefaultSeed
 	}
 	return o
+}
+
+// system resolves the target machine: the last WithSystem if any, else
+// the single-processor clique (scheduling's identity machine — every
+// algorithm degenerates to a topological serialization on it).
+func (o *Options) system() System {
+	if o.hasSys {
+		return o.sys
+	}
+	return machine.NewSystem(1)
+}
+
+// prependOption builds first followed by opts without mutating opts, so
+// a caller-supplied option (applied later) overrides first. It is how
+// the deprecated positional entry points funnel into the option-driven
+// ones.
+func prependOption(first Option, opts []Option) []Option {
+	out := make([]Option, 0, len(opts)+1)
+	out = append(out, first)
+	return append(out, opts...)
+}
+
+// WithSystem sets the target machine of Run and RunBatch: processor
+// count, communication model and — on uniformly related machines — the
+// per-processor speed factors. Build one with NewSystem:
+//
+//	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(4)))
+//	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(4, flb.WithSpeeds([]float64{2, 2, 1, 1}))))
+//
+// The default is the single-processor clique. Execute ignores it — a
+// schedule already carries its system.
+func WithSystem(sys System) Option {
+	return func(o *Options) { o.sys, o.hasSys = sys, true }
 }
 
 // WithAlgorithm selects the scheduling algorithm by registry name
@@ -161,22 +197,48 @@ func WithContext(ctx context.Context) Option {
 	return func(o *Options) { o.ctx = ctx }
 }
 
-// Run schedules g on p processors (the paper's clique model), by default
-// with FLB. Options select the algorithm and seed and attach an observer:
+// Run schedules g, by default with FLB on a single-processor clique.
+// Options select the machine, the algorithm and seed, and attach an
+// observer:
 //
-//	s, err := flb.Run(g, 4, flb.WithAlgorithm("mcp"), flb.WithSeed(7))
-func Run(g *Graph, p int, opts ...Option) (*Schedule, error) {
-	return RunOn(g, machine.NewSystem(p), opts...)
+//	s, err := flb.Run(g,
+//		flb.WithSystem(flb.NewSystem(4)),
+//		flb.WithAlgorithm("mcp"), flb.WithSeed(7))
+func Run(g *Graph, opts ...Option) (*Schedule, error) {
+	o := buildOptions(opts)
+	return runOptions(g, &o)
 }
 
-// RunOn is Run on an explicit system (e.g. a custom communication model).
+// RunProcs schedules g on p homogeneous processors (the paper's clique
+// model).
+//
+// Deprecated: RunProcs is the positional form Run had before the machine
+// became an option. Use Run(g, WithSystem(NewSystem(p)), opts...); the
+// wrapper is pinned bit-identical to it.
+func RunProcs(g *Graph, p int, opts ...Option) (*Schedule, error) {
+	return Run(g, prependOption(WithSystem(machine.NewSystem(p)), opts)...)
+}
+
+// RunOn schedules g on an explicit system.
+//
+// Deprecated: RunOn is the positional form. Use
+// Run(g, WithSystem(sys), opts...); the wrapper is pinned bit-identical
+// to it. A WithSystem among opts overrides sys, exactly as if it
+// followed an earlier WithSystem.
 func RunOn(g *Graph, sys System, opts ...Option) (*Schedule, error) {
-	o := buildOptions(opts)
+	return Run(g, prependOption(WithSystem(sys), opts)...)
+}
+
+// runOptions dispatches a single scheduling run under built options: the
+// FLB fast path (optionally memoized via WithCache), or a registry
+// algorithm by name.
+func runOptions(g *Graph, o *Options) (*Schedule, error) {
+	sys := o.system()
 	if o.algorithm == "" || strings.EqualFold(o.algorithm, "flb") {
 		if o.cache == nil {
 			return core.FLB{Sink: o.observer}.Schedule(g, sys)
 		}
-		return runCached(g, sys, &o)
+		return runCached(g, sys, o)
 	}
 	a, err := NewAlgorithm(o.algorithm, o.seed)
 	if err != nil {
@@ -185,7 +247,7 @@ func RunOn(g *Graph, sys System, opts ...Option) (*Schedule, error) {
 	return a.Schedule(g, sys)
 }
 
-// runCached is the FLB path of RunOn behind WithCache: look the problem
+// runCached is the FLB path of Run behind WithCache: look the problem
 // up by fingerprint (exact tier always; near-hit tier when the cache has
 // it enabled), fall back to a cold run and insert the result. Observed
 // runs skip the lookup — the observer's contract is the cold run's full

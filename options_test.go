@@ -37,11 +37,48 @@ func TestDeprecatedWrappersBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		now, err := flb.Run(g, 2, flb.WithAlgorithm(name), flb.WithSeed(7))
+		now, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)), flb.WithAlgorithm(name), flb.WithSeed(7))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		sameSchedule(t, old, now)
+	}
+
+	// RunProcs(g, p, ...) ≡ Run(WithSystem(NewSystem(p)), ...), and
+	// RunOn(g, sys, ...) ≡ Run(WithSystem(sys), ...) — the positional
+	// machine arguments of the pre-redesign entry points.
+	canonical, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)), flb.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaProcs, err := flb.RunProcs(g, 2, flb.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, canonical, viaProcs)
+	viaOn, err := flb.RunOn(g, flb.NewSystem(2), flb.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, canonical, viaOn)
+
+	// RunBatchProcs / RunBatchOn ≡ RunBatch(WithSystem(...)).
+	gs := []*flb.Graph{g, flb.LU(4)}
+	wantBatch, err := flb.RunBatch(gs, flb.WithSystem(flb.NewSystem(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotProcs, err := flb.RunBatchProcs(gs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOn, err := flb.RunBatchOn(gs, flb.NewSystem(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gs {
+		sameSchedule(t, wantBatch[i], gotProcs[i])
+		sameSchedule(t, wantBatch[i], gotOn[i])
 	}
 
 	// Trace ≡ Run(WithObserver(NewStepRecorder)).
@@ -50,7 +87,7 @@ func TestDeprecatedWrappersBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	var steps []flb.Step
-	newSched, err := flb.Run(g, 2, flb.WithObserver(flb.NewStepRecorder(&steps)))
+	newSched, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)), flb.WithObserver(flb.NewStepRecorder(&steps)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +96,7 @@ func TestDeprecatedWrappersBitIdentical(t *testing.T) {
 	}
 	sameSchedule(t, oldSched, newSched)
 
-	s, err := flb.Run(g, 2)
+	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +155,7 @@ func TestDeprecatedWrappersBitIdentical(t *testing.T) {
 // fault-capable engine yet reproduces the fault-free path bit for bit, so
 // WithFaults(zero) is safe to compose unconditionally.
 func TestExecuteFaultFreeMatchesFaulty(t *testing.T) {
-	s, err := flb.Run(flb.PaperExample(), 2)
+	s, err := flb.Run(flb.PaperExample(), flb.WithSystem(flb.NewSystem(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +182,7 @@ func TestWithObserverEndToEnd(t *testing.T) {
 	g := flb.PaperExample()
 	rec := flb.NewRecorder()
 	tel := flb.NewTelemetry()
-	s, err := flb.Run(g, 2, flb.WithObserver(flb.TeeObservers(rec, tel)))
+	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)), flb.WithObserver(flb.TeeObservers(rec, tel)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +211,7 @@ func TestWithObserverEndToEnd(t *testing.T) {
 	}
 
 	// WithObserver(nil) and no observer are both the zero-overhead path.
-	if _, err := flb.Run(g, 2, flb.WithObserver(nil)); err != nil {
+	if _, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)), flb.WithObserver(nil)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -186,7 +223,7 @@ func TestChromeTraceThroughAPI(t *testing.T) {
 	var buf bytes.Buffer
 	ct := flb.NewChromeTrace(&buf)
 	ct.TaskNames = func(id int) string { return g.Task(id).Name }
-	s, err := flb.Run(g, 2, flb.WithObserver(ct))
+	s, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)), flb.WithObserver(ct))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +252,7 @@ func TestChromeTraceThroughAPI(t *testing.T) {
 
 // TestWithSeedDefault: omitting WithSeed must match WithSeed(DefaultSeed).
 func TestWithSeedDefault(t *testing.T) {
-	s, err := flb.Run(flb.PaperExample(), 2)
+	s, err := flb.Run(flb.PaperExample(), flb.WithSystem(flb.NewSystem(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,5 +287,80 @@ func TestRunOnWithObserver(t *testing.T) {
 	}
 	if _, err := flb.RunOn(g, sys, flb.WithAlgorithm("bogus")); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestWithSystemSemantics pins the option-resolution rules of the
+// redesigned entry points: the default machine is one processor, the
+// last WithSystem wins, and a WithSystem among a deprecated wrapper's
+// options overrides the wrapper's positional system.
+func TestWithSystemSemantics(t *testing.T) {
+	g := flb.PaperExample()
+
+	// Default machine: one processor — a topological serialization.
+	s, err := flb.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.TotalComp(); s.Makespan() != want {
+		t.Errorf("default-system makespan = %g, want serialized %g", s.Makespan(), want)
+	}
+
+	// Last WithSystem wins, like every other repeated option.
+	two, err := flb.Run(g, flb.WithSystem(flb.NewSystem(4)), flb.WithSystem(flb.NewSystem(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := flb.Run(g, flb.WithSystem(flb.NewSystem(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, want, two)
+
+	// A WithSystem passed through a deprecated positional wrapper
+	// overrides the wrapper's own system argument.
+	over, err := flb.RunOn(g, flb.NewSystem(4), flb.WithSystem(flb.NewSystem(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, want, over)
+	overP, err := flb.RunProcs(g, 4, flb.WithSystem(flb.NewSystem(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, want, overP)
+}
+
+// TestNewSystemOptions covers the system construction options: WithComm
+// swaps the communication model and WithSpeeds builds a (canonicalized)
+// uniformly related machine.
+func TestNewSystemOptions(t *testing.T) {
+	sys := flb.NewSystem(3,
+		flb.WithComm(flb.LatencyBandwidth{Latency: 1, Bandwidth: 2}),
+		flb.WithSpeeds([]float64{2, 1, 1}))
+	if sys.P != 3 {
+		t.Errorf("P = %d", sys.P)
+	}
+	if got := sys.CommCost(4, 0, 1); got != 3 {
+		t.Errorf("comm cost = %g, want latency+w/bw = 3", got)
+	}
+	if got := sys.Speed(0); got != 2 {
+		t.Errorf("speed[0] = %g", got)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// All-1.0 speeds canonicalize to the homogeneous machine.
+	if unit := flb.NewSystem(2, flb.WithSpeeds([]float64{1, 1})); unit.Speeds != nil {
+		t.Errorf("all-1.0 speeds survived canonicalization: %v", unit.Speeds)
+	}
+
+	// The caller's slice is copied, never aliased.
+	mine := []float64{2, 1}
+	sys2 := flb.NewSystem(2, flb.WithSpeeds(mine))
+	mine[0] = 99
+	if sys2.Speed(0) != 2 {
+		t.Errorf("WithSpeeds aliased the caller's slice: speed[0] = %g", sys2.Speed(0))
 	}
 }
