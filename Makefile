@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all lint fmt vet flblint lint-fix-check build test race fuzz bench throughput cache hetero trace serve loadtest e2e clean
+.PHONY: all lint fmt vet flblint lint-fix-check build test race fuzz bench throughput cache hetero scale trace serve loadtest e2e clean
 
 all: lint build test
 
@@ -57,6 +57,13 @@ hetero:
 
 bench:
 	$(GO) test -run '^$$' -bench 'Fig2|Scaling' -benchmem .
+
+# Million-task scale sweep, CI-quick configuration (10^5-task instances):
+# streaming build + compact-CSR footprint against the committed
+# bytes-per-(V+E) budget and the quick peak-RSS budget (DESIGN.md §17).
+# The committed full sweep is `go run ./cmd/flbbench -exp scale`.
+scale:
+	$(GO) run ./cmd/flbbench -exp scale -quick
 
 # Batch scheduling throughput (jobs/sec) across worker-pool sizes.
 throughput:

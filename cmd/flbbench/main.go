@@ -59,7 +59,7 @@ type jsonExperiment struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("flbbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, hetero, contention, optimality, throughput, cache, or all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig2, fig3, fig4, scaling, scale, robust, fault, ablation, ccr, hetero, contention, optimality, throughput, cache, or all")
 		quick    = fs.Bool("quick", false, "scaled-down configuration (V≈200, 2 seeds)")
 		targetV  = fs.Int("v", 0, "override the approximate task count (default 2000; 200 with -quick)")
 		seeds    = fs.Int("seeds", 0, "override instances per (family, CCR) (default 5; 2 with -quick, and -exp all trims heavy sweeps to 2)")
@@ -385,8 +385,36 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if want("scale") {
+		ran = true
+		sizes := []int{100000, 1000000}
+		rssBudget := bench.ScalePeakRSSBudgetMB
+		if *quick || *exp == "all" {
+			// The quick sweep stops at 10^5 tasks — the smallest size whose
+			// allocator overhead is representative of the million-task rows
+			// — and exercises the same streaming-build and compact-CSR
+			// paths in CI seconds.
+			sizes = []int{100000}
+			rssBudget = bench.ScaleQuickPeakRSSBudgetMB
+		}
+		if *exp != "scale" {
+			// Peak RSS is process-wide: once any other experiment ran in
+			// this process the high-water mark is not the sweep's.
+			rssBudget = 0
+		}
+		r, err := bench.Scale(sizes, 32)
+		if err != nil {
+			return err
+		}
+		if err := emit("scale", "", r); err != nil {
+			return err
+		}
+		if err := r.Check(rssBudget); err != nil {
+			return err
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, robust, fault, ablation, ccr, hetero, contention, optimality, throughput, cache, or all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want table1, fig2, fig3, fig4, scaling, scale, robust, fault, ablation, ccr, hetero, contention, optimality, throughput, cache, or all)", *exp)
 	}
 	if traceClose != nil {
 		if err := traceClose(); err != nil {

@@ -67,6 +67,16 @@ func NewReadyTracker(g *graph.Graph) *ReadyTracker {
 	return rt
 }
 
+// Grow pre-sizes the tracker's pending array for graphs of up to n
+// tasks, so a later Reset at that scale allocates nothing.
+func (rt *ReadyTracker) Grow(n int) {
+	if cap(rt.pending) < n {
+		p := make([]int, len(rt.pending), n)
+		copy(p, rt.pending)
+		rt.pending = p
+	}
+}
+
 // Reset re-targets the tracker at g, reusing its backing arrays.
 func (rt *ReadyTracker) Reset(g *graph.Graph) {
 	rt.g = g
@@ -92,7 +102,8 @@ func (rt *ReadyTracker) Initial() []int { return rt.g.EntryTasks() }
 //flb:hotpath
 func (rt *ReadyTracker) Complete(t int) []int {
 	rt.newly = rt.newly[:0]
-	for _, ei := range rt.g.SuccEdges(t) {
+	for k, se := 0, rt.g.SuccEdges(t); k < se.Len(); k++ {
+		ei := se.At(k)
 		to := rt.g.Edge(ei).To
 		rt.pending[to]--
 		if rt.pending[to] == 0 {

@@ -118,7 +118,8 @@ func FromAssignment(g *graph.Graph, assign []int) *Clustering {
 			break
 		}
 		start := avail[cl[t]]
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			e := g.Edge(ei)
 			a := c.Finish[e.From]
 			if cl[e.From] != cl[t] {
@@ -132,7 +133,8 @@ func FromAssignment(g *graph.Graph, assign []int) *Clustering {
 		c.Finish[t] = start + g.Comp(t)
 		avail[cl[t]] = c.Finish[t]
 		c.Clusters[cl[t]] = append(c.Clusters[cl[t]], t)
-		for _, ei := range g.SuccEdges(t) {
+		for k, se := 0, g.SuccEdges(t); k < se.Len(); k++ {
+			ei := se.At(k)
 			to := g.Edge(ei).To
 			pendingPreds[to]--
 			if pendingPreds[to] == 0 {

@@ -50,7 +50,8 @@ func Run(g *graph.Graph) (*cluster.Clustering, error) {
 	lmt := make([]float64, n) // last message arrival (new-cluster start)
 	push := func(t int) {
 		lmt[t] = 0
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			e := g.Edge(ei)
 			if a := c.Finish[e.From] + e.Comm; a > lmt[t] {
 				lmt[t] = a
@@ -74,14 +75,16 @@ func Run(g *graph.Graph) (*cluster.Clustering, error) {
 		// guarantees the start time never exceeds the unmerged arrival).
 		bestCluster, bestStart := -1, lmt[t]
 		tried := map[int]bool{}
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			cl := c.Cluster[g.Edge(ei).From]
 			if tried[cl] {
 				continue
 			}
 			tried[cl] = true
 			st := avail[cl]
-			for _, ej := range g.PredEdges(t) {
+			for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+				ej := pe.At(k)
 				e := g.Edge(ej)
 				a := c.Finish[e.From]
 				if c.Cluster[e.From] != cl {

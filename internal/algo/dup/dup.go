@@ -97,7 +97,8 @@ func (d DSH) planOn(g *graph.Graph, s *schedule.Schedule, t int, p machine.Proc)
 	}
 	dataReady := func() float64 {
 		var r float64
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			if a := arrival(g.Edge(ei)); a > r {
 				r = a
 			}
@@ -126,7 +127,8 @@ func (d DSH) planOn(g *graph.Graph, s *schedule.Schedule, t int, p machine.Proc)
 		}
 		// Critical parent: the predecessor whose message arrives last.
 		parent, parentArrival := -1, -1.0
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			e := g.Edge(ei)
 			if a := arrival(e); a > parentArrival {
 				parentArrival, parent = a, e.From

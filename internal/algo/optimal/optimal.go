@@ -113,11 +113,13 @@ func Solve(g *graph.Graph, sys machine.System, maxNodes int) (*Result, error) {
 				}
 				s.Place(t, p, est)
 				placedComp += g.Comp(t)
-				for _, ei := range g.SuccEdges(t) {
+				for k, se := 0, g.SuccEdges(t); k < se.Len(); k++ {
+					ei := se.At(k)
 					pendingPreds[g.Edge(ei).To]--
 				}
 				dfs(placed + 1)
-				for _, ei := range g.SuccEdges(t) {
+				for k, se := 0, g.SuccEdges(t); k < se.Len(); k++ {
+					ei := se.At(k)
 					pendingPreds[g.Edge(ei).To]++
 				}
 				placedComp -= g.Comp(t)

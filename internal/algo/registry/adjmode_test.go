@@ -1,0 +1,55 @@
+package registry
+
+import (
+	"math/rand"
+	"testing"
+
+	"flb/internal/graph"
+	"flb/internal/machine"
+	"flb/internal/workload"
+)
+
+// TestAdjModeBitIdentity pins the compact-CSR acceptance property of the
+// million-task work (ISSUE 10): for every registered algorithm, a graph
+// scheduled through the u32 adjacency must be bit-identical to the same
+// graph scheduled through the wide []int adjacency — same placement
+// sequence, processors, start times and makespan. The CSR representation
+// must never leak into tie-breaking, which depends on edge-index order
+// within each task's window being preserved by both builds.
+func TestAdjModeBitIdentity(t *testing.T) {
+	instances := map[string]*graph.Graph{
+		"lu":      workload.LU(24), // 300 tasks, regular joins
+		"layered": workload.LayeredRandom(rand.New(rand.NewSource(3)), 12, 25, 0.15),
+		"gnp":     workload.GNPDag(rand.New(rand.NewSource(9)), 120, 0.07),
+	}
+	// Irregular weights widen the tie surface the representation could
+	// perturb.
+	for _, g := range instances {
+		workload.RandomizeWeights(g, rand.New(rand.NewSource(5)), workload.Uniform02{}, 1.0)
+	}
+	sys := machine.NewSystem(6)
+	for iname, g := range instances {
+		schedule := func(mode graph.AdjMode, name string) string {
+			gg := g.Clone()
+			gg.SetAdjMode(mode)
+			gg.Freeze()
+			if want := mode; gg.AdjModeInUse() != want {
+				t.Fatalf("%s: adjacency mode %v not honored", iname, want)
+			}
+			a, err := New(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := a.Schedule(gg, sys)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", iname, name, err)
+			}
+			return fingerprint(s)
+		}
+		for _, name := range Names() {
+			if schedule(graph.AdjCompact, name) != schedule(graph.AdjWide, name) {
+				t.Errorf("%s on %s: compact and wide CSR schedules differ", name, iname)
+			}
+		}
+	}
+}

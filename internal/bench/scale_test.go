@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleSmoke runs the sweep at a toy size: every family produces a
+// row with plausible measurements, the compact CSR is in use, and the
+// renderers include every row. The byte budget is not asserted here —
+// it is calibrated for V >= 10^5, where allocator rounding amortizes.
+func TestScaleSmoke(t *testing.T) {
+	r, err := Scale([]int{2000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(scaleFamilies) {
+		t.Fatalf("%d rows, want %d", len(r.Rows), len(scaleFamilies))
+	}
+	for _, row := range r.Rows {
+		if row.V < 2000 {
+			t.Errorf("%s: V=%d undershoots the 2000-task target", row.Family, row.V)
+		}
+		if row.Adj != "u32" {
+			t.Errorf("%s: adjacency %q, want the compact u32 CSR", row.Family, row.Adj)
+		}
+		if row.GraphBytes == 0 || row.BytesPerVE <= 0 || row.Makespan <= 0 {
+			t.Errorf("%s: implausible measurements: %+v", row.Family, row)
+		}
+	}
+	for _, out := range []string{r.Format(), r.CSV()} {
+		for _, row := range r.Rows {
+			if !strings.Contains(out, row.Family) {
+				t.Errorf("rendered output misses family %s", row.Family)
+			}
+		}
+	}
+}
+
+// TestScaleBudget runs one CI-quick-sized instance per family and holds
+// it to the committed byte budget — the in-tree version of the
+// `flbbench -exp scale -quick` CI gate.
+func TestScaleBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^5-task sweep in -short mode")
+	}
+	r, err := Scale([]int{100000}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RSS budget 0: the test binary ran other experiments in this process.
+	if err := r.Check(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaleCheckFlagsViolations pins the guard itself.
+func TestScaleCheckFlagsViolations(t *testing.T) {
+	r := &ScaleResult{
+		Rows:      []ScaleRow{{Family: "lu", V: 10, BytesPerVE: ScaleBytesPerVEBudget + 1}},
+		PeakRSSMB: 100,
+	}
+	if err := r.Check(0); err == nil {
+		t.Fatal("over-budget bytes per (V+E) not flagged")
+	}
+	r.Rows[0].BytesPerVE = 1
+	if err := r.Check(50); err == nil {
+		t.Fatal("over-budget peak RSS not flagged")
+	}
+	if err := r.Check(200); err != nil {
+		t.Fatal(err)
+	}
+}

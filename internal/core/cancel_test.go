@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flb/internal/machine"
+	"flb/internal/schedule"
+	"flb/internal/workload"
+)
+
+// The scale sweep schedules million-task graphs that take whole seconds;
+// ScheduleContext exists so a caller can abandon such a run. These tests
+// pin its contract: a done context aborts within one poll interval (4096
+// placements), the error wraps ctx.Err() so errors.Is sees through it,
+// an abort leaves no goroutine behind and does not poison the arena, and
+// a context that never fires changes nothing — bit for bit.
+
+// schedFingerprint reduces a schedule to its observable decisions.
+func schedFingerprint(s *schedule.Schedule) string {
+	out := fmt.Sprintf("makespan=%.9g seq=%v\n", s.Makespan(), s.PlacementOrder())
+	for i := 0; i < s.Graph().NumTasks(); i++ {
+		out += fmt.Sprintf("t%d p%d %.9g\n", i, s.Proc(i), s.Start(i))
+	}
+	return out
+}
+
+// pollCanceledCtx reports Canceled starting with the poll after `after`,
+// making the abort point deterministic — no timing, no goroutines.
+type pollCanceledCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *pollCanceledCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestScheduleContextPreCanceled(t *testing.T) {
+	g := workload.LU(40)
+	sys := machine.NewSystem(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	s, err := FLB{}.ScheduleContext(ctx, g, sys)
+	if s != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("FLB.ScheduleContext(canceled) = (%v, %v), want (nil, context.Canceled)", s, err)
+	}
+	sc := NewScheduler(FLB{})
+	s, err = sc.ScheduleContext(ctx, g, sys)
+	if s != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Scheduler.ScheduleContext(canceled) = (%v, %v), want (nil, context.Canceled)", s, err)
+	}
+}
+
+// TestScheduleContextDeadlineExceeded pins that — unlike the Execute
+// repair budget, which degrades on DeadlineExceeded — the scheduling loop
+// aborts on any done context: a partial schedule has no salvage value.
+func TestScheduleContextDeadlineExceeded(t *testing.T) {
+	g := workload.LU(40)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 1))
+	defer cancel()
+	s, err := FLB{}.ScheduleContext(ctx, g, machine.NewSystem(4))
+	if s != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got (%v, %v), want (nil, context.DeadlineExceeded)", s, err)
+	}
+}
+
+// TestScheduleContextAbortsAtPoll drives the poll counter directly: with
+// the context reporting Canceled from its third poll on, a graph of more
+// than 2*4096 tasks must abort mid-run — proving the loop actually polls
+// every 4096 placements rather than only at entry.
+func TestScheduleContextAbortsAtPoll(t *testing.T) {
+	g := workload.LU(150) // 11325 tasks: polls at iterations 0, 4096, 8192
+	g.Freeze()
+	ctx := &pollCanceledCtx{Context: context.Background(), after: 2}
+	s, err := FLB{}.ScheduleContext(ctx, g, machine.NewSystem(8))
+	if s != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want mid-run abort with context.Canceled", s, err)
+	}
+	if got := ctx.polls.Load(); got != 3 {
+		t.Fatalf("context polled %d times, want exactly 3 (every 4096 of 11325 placements)", got)
+	}
+}
+
+// TestScheduleContextArenaSurvivesAbort pins that an aborted run does not
+// poison the reused arena: the very next Schedule on the same Scheduler
+// must produce the schedule a fresh run produces, bit for bit.
+func TestScheduleContextArenaSurvivesAbort(t *testing.T) {
+	g := workload.LU(150)
+	g.Freeze()
+	sys := machine.NewSystem(8)
+	sc := NewScheduler(FLB{})
+	if _, err := sc.ScheduleContext(&pollCanceledCtx{Context: context.Background(), after: 1}, g, sys); !errors.Is(err, context.Canceled) {
+		t.Fatalf("priming abort failed: %v", err)
+	}
+	after, err := sc.Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := FLB{}.Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedFingerprint(after) != schedFingerprint(fresh) {
+		t.Fatal("schedule after an aborted run differs from a fresh run")
+	}
+}
+
+// TestScheduleContextNeverCanceledIsIdentical pins the zero-interference
+// contract: running under a live context must not perturb a single
+// decision relative to plain Schedule.
+func TestScheduleContextNeverCanceledIsIdentical(t *testing.T) {
+	g := workload.LU(60)
+	g.Freeze()
+	sys := machine.NewSystem(8)
+	plain, err := FLB{}.Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := FLB{}.ScheduleContext(context.Background(), g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedFingerprint(plain) != schedFingerprint(ctxed) {
+		t.Fatal("ScheduleContext under a live context differs from Schedule")
+	}
+}
+
+// TestScheduleContextMillionTaskPromptAbort is the scale-path test the
+// sweep depends on: cancel a million-task run shortly after it starts and
+// require the scheduling goroutine to return promptly (within a generous
+// multiple of the 4096-placement poll interval) and to vanish — no leak.
+func TestScheduleContextMillionTaskPromptAbort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-task graph build in -short mode")
+	}
+	g := workload.LU(workload.LUSizeFor(1_000_000))
+	g.Freeze() // pay CSR + bottom levels up front, outside the abort window
+	sys := machine.NewSystem(32)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		s   *schedule.Schedule
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		s, err := FLB{}.ScheduleContext(ctx, g, sys)
+		done <- result{s, err}
+	}()
+	time.Sleep(5 * time.Millisecond) // let the run get past reset and into the loop
+	cancel()
+	canceledAt := time.Now()
+
+	select {
+	case r := <-done:
+		// A full million-task schedule takes well over a second; returning
+		// this fast means the poll fired. Bound the post-cancel latency
+		// loosely enough for a loaded CI machine.
+		if lat := time.Since(canceledAt); lat > 10*time.Second {
+			t.Fatalf("abort latency %v, want prompt return after cancel", lat)
+		}
+		if r.s != nil || !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("got (%v, %v), want (nil, context.Canceled)", r.s, r.err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("million-task run did not return after cancellation")
+	}
+
+	// The scheduling goroutine must be gone: poll the count briefly to
+	// absorb unrelated runtime goroutines winding down.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutine leak after aborted run: %d before, %d after", before, now)
+	}
+}
+
+// TestSchedulerGrow pins that pre-sizing is behavior-neutral: a grown
+// arena (even one grown far past the input) schedules bit-identically to
+// a fresh one, and degenerate sizes are harmless.
+func TestSchedulerGrow(t *testing.T) {
+	g := workload.LU(60)
+	g.Freeze()
+	sys := machine.NewSystem(8)
+	fresh, err := FLB{}.Schedule(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range [][2]int{{0, 0}, {10, 1}, {100000, 64}} {
+		sc := NewScheduler(FLB{})
+		sc.Grow(size[0], size[1])
+		s, err := sc.Schedule(g, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if schedFingerprint(s) != schedFingerprint(fresh) {
+			t.Fatalf("Grow(%d, %d) perturbed the schedule", size[0], size[1])
+		}
+	}
+}

@@ -59,6 +59,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"flb/internal/algo"
@@ -111,6 +113,21 @@ func (f FLB) Name() string {
 // internally draws its working arena from a pool, so repeated calls do
 // not re-allocate heaps, trackers or scratch arrays.
 func (f FLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	return f.scheduleCtx(nil, g, sys)
+}
+
+// ScheduleContext is Schedule with cooperative cancellation: the run loop
+// polls ctx every 4096 placements (a few hundred microseconds of work at
+// million-task scale) and aborts with ctx.Err() — wrapped, so errors.Is
+// against context.Canceled / context.DeadlineExceeded holds — discarding
+// the partial schedule. A nil ctx behaves exactly like Schedule. The poll
+// sits outside the per-placement hot path, so schedules produced under a
+// never-canceled context are bit-identical to Schedule's.
+func (f FLB) ScheduleContext(ctx context.Context, g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
+	return f.scheduleCtx(ctx, g, sys)
+}
+
+func (f FLB) scheduleCtx(ctx context.Context, g *graph.Graph, sys machine.System) (*schedule.Schedule, error) {
 	if err := algo.CheckInputs(g, sys); err != nil {
 		return nil, err
 	}
@@ -118,9 +135,13 @@ func (f FLB) Schedule(g *graph.Graph, sys machine.System) (*schedule.Schedule, e
 	s := schedule.New(g, sys)
 	s.Algorithm = f.Name()
 	st.reset(f, g, sys, s)
-	st.run()
+	st.ctx = ctx
+	err := st.run()
 	st.release()
 	statePool.Put(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: FLB scheduling aborted: %w", err)
+	}
 	return s, nil
 }
 
@@ -131,6 +152,7 @@ type flbState struct {
 	g   *graph.Graph
 	sys machine.System
 	s   *schedule.Schedule
+	ctx context.Context // non-nil only under ScheduleContext; polled every 4096 placements
 
 	bl       []float64 // static bottom levels, tie-breaking priority
 	noBL     bool      // ablation: ignore bottom levels in tie-breaking
@@ -176,6 +198,8 @@ type flbState struct {
 func (st *flbState) reset(f FLB, g *graph.Graph, sys machine.System, s *schedule.Schedule) {
 	n, p := g.NumTasks(), sys.P
 	st.g, st.sys, st.s = g, sys, s
+	st.ctx = nil // entry points opt in after reset
+
 	st.bl = g.BottomLevels()
 	st.noBL, st.preferEP = f.NoBLTieBreak, f.PreferEPOnTie
 	st.sink = f.Sink
@@ -273,12 +297,16 @@ func (st *flbState) release() {
 	st.s = nil
 	st.bl = nil
 	st.sink = nil
+	st.ctx = nil
 }
 
-// run executes the scheduling loop. The arena must be reset first.
+// run executes the scheduling loop. The arena must be reset first. The
+// only error it can return is a pending st.ctx error (cancellation or an
+// exceeded deadline), observed at most 4096 placements after it occurs;
+// with a nil ctx it cannot fail.
 //
 //flb:hotpath
-func (st *flbState) run() {
+func (st *flbState) run() error {
 	n := st.g.NumTasks()
 	if st.sink != nil {
 		st.sink.Begin(obs.Begin{Kind: obs.KindSchedule, Tasks: n, Procs: st.sys.P})
@@ -304,6 +332,13 @@ func (st *flbState) run() {
 	}
 
 	for iter := 0; iter < n; iter++ {
+		// Cancellation poll, amortized to one interface call per 4096
+		// placements so it stays invisible next to the O(log) heap work.
+		if st.ctx != nil && iter&4095 == 0 {
+			if err := st.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		t, p, est, ok := st.scheduleTask(iter)
 		if !ok {
 			// Unreachable on a validated DAG: there is always a ready task.
@@ -317,6 +352,7 @@ func (st *flbState) run() {
 	if st.sink != nil {
 		st.sink.End(obs.End{Kind: obs.KindSchedule, Makespan: st.s.Makespan()})
 	}
+	return nil
 }
 
 func growFloat(v []float64, n int) []float64 {
@@ -551,7 +587,8 @@ func (st *flbState) updateReadyTasks(t int) {
 //flb:hotpath
 func (st *flbState) classifyReady(nt int) {
 	lmt, ep := 0.0, machine.Proc(-1)
-	for _, ei := range st.g.PredEdges(nt) {
+	for k, pe := 0, st.g.PredEdges(nt); k < pe.Len(); k++ {
+		ei := pe.At(k)
 		e := st.g.Edge(ei)
 		arrive := st.s.Finish(e.From) + st.sys.RemoteCost(e.Comm)
 		p := st.s.Proc(e.From)
@@ -578,7 +615,8 @@ func (st *flbState) classifyReady(nt int) {
 	}
 	// EP type: compute the effective message arrival time on ep.
 	emt := 0.0
-	for _, ei := range st.g.PredEdges(nt) {
+	for k, pe := 0, st.g.PredEdges(nt); k < pe.Len(); k++ {
+		ei := pe.At(k)
 		e := st.g.Edge(ei)
 		a := st.s.ArrivalTime(e, ep)
 		if a > emt {

@@ -161,7 +161,8 @@ func (r *Rescheduler) repairSuffix(req *fault.Request) error {
 	r.ready = r.ready[:0]
 	for _, t := range req.Todo {
 		cnt := 0
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			if r.inPlan[g.Edge(ei).From] {
 				cnt++
 			}
@@ -210,7 +211,8 @@ func (r *Rescheduler) repairSuffix(req *fault.Request) error {
 		r.inPlan[bt] = false
 		r.ready[bi] = r.ready[len(r.ready)-1]
 		r.ready = r.ready[:len(r.ready)-1]
-		for _, ei := range g.SuccEdges(bt) {
+		for k, se := 0, g.SuccEdges(bt); k < se.Len(); k++ {
+			ei := se.At(k)
 			to := g.Edge(ei).To
 			if !r.inPlan[to] {
 				continue
@@ -296,7 +298,8 @@ func (r *Rescheduler) ReplanSuffix(g *graph.Graph, sys machine.System, base *sch
 	for i := k; i < n; i++ {
 		t := order[i]
 		cnt := 0
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			if r.inPlan[g.Edge(ei).From] {
 				cnt++
 			}
@@ -331,7 +334,8 @@ func (r *Rescheduler) ReplanSuffix(g *graph.Graph, sys machine.System, base *sch
 		}
 		r.plan.Place(bt, bp, bestStart)
 		r.inPlan[bt] = false
-		for _, ei := range g.SuccEdges(bt) {
+		for k, se := 0, g.SuccEdges(bt); k < se.Len(); k++ {
+			ei := se.At(k)
 			to := g.Edge(ei).To
 			if !r.inPlan[to] {
 				continue
@@ -416,7 +420,8 @@ func (r *Rescheduler) readyPop(bl []float64) int {
 func (r *Rescheduler) est(req *fault.Request, t int, p machine.Proc) float64 {
 	g, sys := req.G, req.Sys
 	rel := r.plan.PRT(p)
-	for _, ei := range g.PredEdges(t) {
+	for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+		ei := pe.At(k)
 		e := g.Edge(ei)
 		var a float64
 		if r.plan.Assigned(e.From) {

@@ -1,0 +1,40 @@
+package graph
+
+import "testing"
+
+// The streaming build contract of the million-task path (ISSUE 10): on a
+// NewWithCapacity-sized graph, AddTask and AddEdge are pure appends into
+// pre-sized arrays — zero heap allocations per call. Default task names
+// are synthesized lazily by Task(id), never materialized by AddTask; at
+// 10^6 tasks eager "t123456" strings would cost ~24 MB and a million
+// allocator round-trips.
+
+func TestStreamingBuildZeroAllocs(t *testing.T) {
+	const n = 4096
+	g := NewWithCapacity("alloc", n+2, n+2)
+	prev := g.AddTask(1)
+	if avg := testing.AllocsPerRun(n, func() {
+		id := g.AddTask(1)
+		g.AddEdge(prev, id, 1)
+		prev = id
+	}); avg != 0 {
+		t.Errorf("AddTask+AddEdge on a pre-sized graph: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestLazyDefaultNames(t *testing.T) {
+	g := NewWithCapacity("lazy", 4, 0)
+	a := g.AddTask(1)
+	b := g.AddNamedTask("pivot", 2)
+	if got := g.Task(a).Name; got != "t0" {
+		t.Errorf("Task(%d).Name = %q, want the lazy default \"t0\"", a, got)
+	}
+	if got := g.Task(b).Name; got != "pivot" {
+		t.Errorf("explicit name lost: %q", got)
+	}
+	// The synthesized name is per-view, not stored: the backing task stays
+	// unnamed so large generated graphs carry no per-task strings.
+	if g.tasks[a].Name != "" {
+		t.Errorf("Task(%d) materialized its default name into storage: %q", a, g.tasks[a].Name)
+	}
+}

@@ -34,7 +34,10 @@ func checkWeight(w float64) error {
 // language. WriteText always emits parseable output and ReadText
 // round-trips it.
 
-// WriteText serializes the graph to w in the text format.
+// WriteText serializes the graph to w in the text format. Tasks without an
+// explicit name are emitted with the placeholder "_", so reading the output
+// back leaves their names lazily synthesized rather than materializing a
+// string per task.
 func (g *Graph) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "graph %s\n", sanitizeName(g.Name))
@@ -183,7 +186,8 @@ func (g *Graph) WriteDOT(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "digraph %q {\n", dotName(g.Name))
 	fmt.Fprintf(bw, "  rankdir=TB;\n  node [shape=circle];\n")
-	for _, t := range g.tasks {
+	for id := range g.tasks {
+		t := g.Task(id) // synthesizes default names
 		fmt.Fprintf(bw, "  n%d [label=\"%s\\n%g\"];\n", t.ID, t.Name, t.Comp)
 	}
 	// Sort for deterministic output independent of insertion order.

@@ -75,7 +75,10 @@ func ReadSTGLimits(r io.Reader, lim Limits) (*Graph, error) {
 		return nil, fmt.Errorf("graph stg: %w", err)
 	}
 
-	g := New("stg")
+	// The header's declared count (already vetted against the limits above)
+	// pre-sizes task storage exactly; edges stay unsized because the header
+	// does not carry an edge count.
+	g := NewWithCapacity("stg", n, 0)
 	for i := 0; i < n; i++ {
 		g.AddTask(0)
 	}
@@ -171,9 +174,9 @@ func (g *Graph) WriteSTG(w io.Writer) error {
 	fmt.Fprintf(bw, "%d\n", g.NumTasks())
 	for id := 0; id < g.NumTasks(); id++ {
 		preds := g.PredEdges(id)
-		fmt.Fprintf(bw, "%d %g %d", id, g.Comp(id), len(preds))
-		for _, ei := range preds {
-			e := g.Edge(ei)
+		fmt.Fprintf(bw, "%d %g %d", id, g.Comp(id), preds.Len())
+		for k := 0; k < preds.Len(); k++ {
+			e := g.Edge(preds.At(k))
 			fmt.Fprintf(bw, " %d %g", e.From, e.Comm)
 		}
 		fmt.Fprintln(bw)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // ErrCycle is returned when a graph that should be acyclic contains a cycle.
@@ -22,7 +23,7 @@ func (g *Graph) TopoOrder() ([]int, error) {
 	n := len(g.tasks)
 	indeg := make([]int, n)
 	for id := 0; id < n; id++ {
-		indeg[id] = len(g.preds(id))
+		indeg[id] = g.preds(id).Len()
 	}
 	// A simple FIFO queue keeps the order deterministic; entry tasks are
 	// seeded in increasing ID order.
@@ -37,8 +38,8 @@ func (g *Graph) TopoOrder() ([]int, error) {
 		id := queue[0]
 		queue = queue[1:]
 		order = append(order, id)
-		for _, ei := range g.succs(id) {
-			to := g.edges[ei].To
+		for k, se := 0, g.succs(id); k < se.Len(); k++ {
+			to := g.edges[se.At(k)].To
 			indeg[to]--
 			if indeg[to] == 0 {
 				queue = append(queue, to)
@@ -62,7 +63,6 @@ func (g *Graph) Validate() error {
 		return nil
 	}
 	n := len(g.tasks)
-	seen := make(map[[2]int]bool, len(g.edges))
 	for i, e := range g.edges {
 		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
 			return fmt.Errorf("graph %q: edge %d (%d->%d) out of range [0,%d)", g.Name, i, e.From, e.To, n)
@@ -73,11 +73,30 @@ func (g *Graph) Validate() error {
 		if e.Comm < 0 || math.IsNaN(e.Comm) || math.IsInf(e.Comm, 0) {
 			return fmt.Errorf("graph %q: edge %d (%d->%d) has non-finite or negative comm %v", g.Name, i, e.From, e.To, e.Comm)
 		}
-		key := [2]int{e.From, e.To}
-		if seen[key] {
-			return fmt.Errorf("graph %q: duplicate edge %d->%d", g.Name, e.From, e.To)
+	}
+	// Duplicate detection over the CSR predecessor windows: two parallel
+	// edges u->v appear as two equal sources in v's window. A small scratch
+	// slice (grown to the maximum in-degree, not O(E) like the edge-set map
+	// this replaces) is sorted per task; at 10^7 edges the map version
+	// carried hundreds of megabytes of transient state.
+	g.ensureAdj() // safe: endpoints verified in range above
+	var scratch []int
+	for id := 0; id < n; id++ {
+		pe := g.preds(id)
+		d := pe.Len()
+		if d < 2 {
+			continue
 		}
-		seen[key] = true
+		scratch = scratch[:0]
+		for k := 0; k < d; k++ {
+			scratch = append(scratch, g.edges[pe.At(k)].From)
+		}
+		sort.Ints(scratch)
+		for k := 1; k < d; k++ {
+			if scratch[k] == scratch[k-1] {
+				return fmt.Errorf("graph %q: duplicate edge %d->%d", g.Name, scratch[k], id)
+			}
+		}
 	}
 	for id, t := range g.tasks {
 		if t.Comp < 0 || math.IsNaN(t.Comp) || math.IsInf(t.Comp, 0) {

@@ -64,6 +64,7 @@ var requiredHotpath = map[string][]string{
 	},
 	"flb/internal/graph": {
 		"Graph.SuccEdges", "Graph.PredEdges", "Graph.Edge",
+		"Edges.Len", "Edges.At",
 	},
 	"flb/internal/algo": {
 		"ReadyTracker.Complete",

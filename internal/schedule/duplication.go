@@ -78,7 +78,8 @@ func (s *Schedule) BestArrival(e graph.Edge, p machine.Proc) float64 {
 // copies.
 func (s *Schedule) DataReadyDup(t int, p machine.Proc) float64 {
 	var ready float64
-	for _, ei := range s.g.PredEdges(t) {
+	for k, pe := 0, s.g.PredEdges(t); k < pe.Len(); k++ {
+		ei := pe.At(k)
 		e := s.g.Edge(ei)
 		best := math.Inf(1)
 		for _, c := range s.Copies(e.From) {

@@ -186,7 +186,8 @@ func RunContendedObserved(s *schedule.Schedule, net Network, sink obs.Sink) (*Re
 				sink.TaskFinish(obs.TaskEvent{Task: t, Proc: int(s.Proc(t)), Start: res.Start[t], Finish: res.Finish[t]})
 			}
 			// Send messages FCFS; local messages deliver instantly.
-			for _, ei := range g.SuccEdges(t) {
+			for k, se := 0, g.SuccEdges(t); k < se.Len(); k++ {
+				ei := se.At(k)
 				edge := g.Edge(ei)
 				if s.Proc(edge.From) == s.Proc(edge.To) {
 					deliver(ei, e.time)

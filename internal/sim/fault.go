@@ -299,7 +299,8 @@ func (fr *faultRun) runEpoch(horizon float64) {
 		if fr.prevChain[t] >= 0 {
 			cnt++
 		}
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			if !fr.executed[g.Edge(ei).From] {
 				cnt++
 			}
@@ -320,7 +321,8 @@ func (fr *faultRun) runEpoch(horizon float64) {
 			start = fr.res.Finish[pt]
 		}
 		tries, delay := 0, 0.0
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			e := g.Edge(ei)
 			arrive := fr.res.Finish[e.From]
 			fp := fr.curProc[e.From]
@@ -357,7 +359,8 @@ func (fr *faultRun) runEpoch(horizon float64) {
 		if fr.sink != nil {
 			fr.emitTask(t, p)
 		}
-		for _, ei := range g.SuccEdges(t) {
+		for k, se := 0, g.SuccEdges(t); k < se.Len(); k++ {
+			ei := se.At(k)
 			to := g.Edge(ei).To
 			fr.pendingCnt[to]--
 			if fr.pendingCnt[to] == 0 {
@@ -390,7 +393,8 @@ func (fr *faultRun) emitTask(t int, p machine.Proc) {
 	g := fr.s.Graph()
 	span := obs.TaskEvent{Task: t, Proc: int(p), Start: fr.res.Start[t], Finish: fr.res.Finish[t]}
 	fr.sink.TaskStart(span)
-	for _, ei := range g.PredEdges(t) {
+	for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+		ei := pe.At(k)
 		e := g.Edge(ei)
 		fp := fr.curProc[e.From]
 		send := fr.res.Finish[e.From]
@@ -456,7 +460,8 @@ func (fr *faultRun) revokeLost(c fault.Crash, noCheckpoint bool) {
 				if fr.executed[t] {
 					continue
 				}
-				for _, ei := range g.PredEdges(t) {
+				for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+					ei := pe.At(k)
 					from := g.Edge(ei).From
 					if fr.executed[from] && fr.curProc[from] == c.Proc {
 						fr.revoke(from)

@@ -188,7 +188,8 @@ func RunObserved(s *schedule.Schedule, perturbComp, perturbComm Perturb, sink ob
 		if pt := prevOnProc[t]; pt >= 0 {
 			start = res.Finish[pt]
 		}
-		for _, ei := range g.PredEdges(t) {
+		for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+			ei := pe.At(k)
 			e := g.Edge(ei)
 			arrive := res.Finish[e.From]
 			if s.Proc(e.From) != s.Proc(t) {
@@ -211,7 +212,8 @@ func RunObserved(s *schedule.Schedule, perturbComp, perturbComm Perturb, sink ob
 		if sink != nil {
 			span := obs.TaskEvent{Task: t, Proc: int(s.Proc(t)), Start: start, Finish: res.Finish[t]}
 			sink.TaskStart(span)
-			for _, ei := range g.PredEdges(t) {
+			for k, pe := 0, g.PredEdges(t); k < pe.Len(); k++ {
+				ei := pe.At(k)
 				e := g.Edge(ei)
 				if s.Proc(e.From) == s.Proc(t) {
 					continue
@@ -229,7 +231,8 @@ func RunObserved(s *schedule.Schedule, perturbComp, perturbComm Perturb, sink ob
 		}
 		// Release dependents: precedence successors and the next task in
 		// the processor chain.
-		for _, ei := range g.SuccEdges(t) {
+		for k, se := 0, g.SuccEdges(t); k < se.Len(); k++ {
+			ei := se.At(k)
 			to := g.Edge(ei).To
 			pending[to]--
 			if pending[to] == 0 {

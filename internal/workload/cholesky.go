@@ -6,20 +6,46 @@ import (
 	"flb/internal/graph"
 )
 
+// choleskySize returns the exact task and edge counts of Cholesky(n).
+//
+// Tasks per step k (m = n-1-k remaining rows): 1 POTRF + m TRSM + m SYRK +
+// C(m,2) GEMM, so V = n + n(n-1) + C(n,3).
+//
+// Edges per step: at k=0 only the data reads exist (POTRF->TRSM and
+// panel->SYRK/GEMM: 2m + 2*C(m,2)); at k>=1 every kernel additionally
+// chains through the tile last written in step k-1 (the dep() edges), so
+// the step carries 1 + 4m + 3*C(m,2). checkCounts in the generator pins
+// this formula against what the loops actually emit.
+func choleskySize(n int) (v, e int) {
+	v = n + n*(n-1) + n*(n-1)*(n-2)/6
+	for k := 0; k < n; k++ {
+		m := n - 1 - k
+		pairs := m * (m - 1) / 2
+		if k == 0 {
+			e += 2*m + 2*pairs
+		} else {
+			e += 1 + 4*m + 3*pairs
+		}
+	}
+	return v, e
+}
+
 // Cholesky returns the task graph of a tiled Cholesky factorization of an
 // n x n tile matrix with the classic four kernels: POTRF (diagonal
 // factorization), TRSM (panel solve), SYRK (diagonal update) and GEMM
 // (off-diagonal update). Relative kernel costs follow the usual flop
 // ratios (POTRF 1, TRSM 3, SYRK 3, GEMM 6 per tile). The graph has
-// n + n(n-1) + n(n-1)(n+1)/6-ish tasks — denser and join-heavier than LU,
-// extending the workload set beyond the paper's three families.
+// n + n(n-1) + C(n,3) tasks — denser and join-heavier than LU, extending
+// the workload set beyond the paper's three families.
 func Cholesky(n int) *graph.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("workload: Cholesky(%d), want n >= 1", n))
 	}
-	g := graph.New(fmt.Sprintf("cholesky-%d", n))
-	// tile[i][j] (i >= j) holds the id of the task that last wrote tile
-	// (i, j); dependencies chain through it.
+	v, e := choleskySize(n)
+	g := graph.NewWithCapacity(fmt.Sprintf("cholesky-%d", n), v, e)
+	// last[i][j] (i >= j) holds the id of the task that last wrote tile
+	// (i, j); dependencies chain through it. O(n^2) ints for an O(n^3)
+	// graph — the bookkeeping stays sublinear in V.
 	last := make([][]int, n)
 	for i := range last {
 		last[i] = make([]int, n)
@@ -34,40 +60,36 @@ func Cholesky(n int) *graph.Graph {
 		last[i][j] = task
 	}
 	for k := 0; k < n; k++ {
-		potrf := g.AddNamedTask(fmt.Sprintf("potrf%d", k), 1)
+		potrf := g.AddTask(1)
 		dep(potrf, k, k)
 		for i := k + 1; i < n; i++ {
-			trsm := g.AddNamedTask(fmt.Sprintf("trsm%d_%d", k, i), 3)
+			trsm := g.AddTask(3)
 			g.AddEdge(potrf, trsm, 1)
 			dep(trsm, i, k)
 		}
 		for i := k + 1; i < n; i++ {
-			syrk := g.AddNamedTask(fmt.Sprintf("syrk%d_%d", k, i), 3)
+			syrk := g.AddTask(3)
 			g.AddEdge(last[i][k], syrk, 1) // reads the TRSM panel
 			dep(syrk, i, i)
 			for j := k + 1; j < i; j++ {
-				gemm := g.AddNamedTask(fmt.Sprintf("gemm%d_%d_%d", k, i, j), 6)
+				gemm := g.AddTask(6)
 				g.AddEdge(last[i][k], gemm, 1)
 				g.AddEdge(last[j][k], gemm, 1)
 				dep(gemm, i, j)
 			}
 		}
 	}
+	checkCounts(g, v, e)
 	g.MustValidate()
 	return g
 }
 
-// CholeskySizeFor returns the tile dimension n whose Cholesky graph has at
-// least v tasks.
+// CholeskySizeFor returns the smallest tile dimension n whose Cholesky
+// graph has at least v tasks.
 func CholeskySizeFor(v int) int {
 	n := 1
 	for {
-		// V(n) = sum over k of 1 + (n-1-k) + (n-1-k) + C(n-1-k, 2)
-		total := 0
-		for k := 0; k < n; k++ {
-			m := n - 1 - k
-			total += 1 + 2*m + m*(m-1)/2
-		}
+		total, _ := choleskySize(n)
 		if total >= v {
 			return n
 		}
@@ -79,12 +101,15 @@ func CholeskySizeFor(v int) int {
 // solve Lx = b with n row blocks: each diagonal solve depends on all
 // updates of its row, and each update depends on an earlier solve — a
 // strongly serial workload whose width shrinks to 1 repeatedly, stressing
-// the schedulers' handling of scarce parallelism.
+// the schedulers' handling of scarce parallelism. The graph has
+// n + n(n-1)/2 tasks and n(n-1) edges.
 func TriangularSolve(n int) *graph.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("workload: TriangularSolve(%d), want n >= 1", n))
 	}
-	g := graph.New(fmt.Sprintf("trisolve-%d", n))
+	v := n + n*(n-1)/2
+	e := n * (n - 1)
+	g := graph.NewWithCapacity(fmt.Sprintf("trisolve-%d", n), v, e)
 	solve := make([]int, n)
 	// pending[i] is the last update task of row i (chained serially).
 	pending := make([]int, n)
@@ -92,12 +117,12 @@ func TriangularSolve(n int) *graph.Graph {
 		pending[i] = -1
 	}
 	for i := 0; i < n; i++ {
-		solve[i] = g.AddNamedTask(fmt.Sprintf("solve%d", i), 2)
+		solve[i] = g.AddTask(2)
 		if pending[i] >= 0 {
 			g.AddEdge(pending[i], solve[i], 1)
 		}
 		for j := i + 1; j < n; j++ {
-			upd := g.AddNamedTask(fmt.Sprintf("upd%d_%d", i, j), 1)
+			upd := g.AddTask(1)
 			g.AddEdge(solve[i], upd, 1)
 			if pending[j] >= 0 {
 				g.AddEdge(pending[j], upd, 1)
@@ -105,6 +130,7 @@ func TriangularSolve(n int) *graph.Graph {
 			pending[j] = upd
 		}
 	}
+	checkCounts(g, v, e)
 	g.MustValidate()
 	return g
 }

@@ -11,50 +11,80 @@ import (
 // evaluation. All generators emit unit computation and communication
 // weights; RandomizeWeights and (*graph.Graph).SetCCR then impose the
 // experiment's distribution and granularity.
+//
+// Every generator knows its exact task and edge counts in closed form and
+// streams tasks and edges straight into a graph.NewWithCapacity-sized
+// graph: no intermediate index maps or per-task name strings are
+// materialized, so a 10^6-task instance costs exactly its Task/Edge/CSR
+// arrays (see DESIGN.md §17). Task IDs are pure arithmetic on the
+// generation order, which checkCounts pins against the closed forms.
+
+// checkCounts panics when a generator's closed-form capacity formula has
+// drifted from what it actually emitted — that would mean append growth
+// (or waste) crept back into the million-task path.
+func checkCounts(g *graph.Graph, v, e int) {
+	if g.NumTasks() != v || g.NumEdges() != e {
+		panic(fmt.Sprintf("workload: %s capacity formula drift: built V=%d E=%d, sized V=%d E=%d",
+			g.Name, g.NumTasks(), g.NumEdges(), v, e))
+	}
+}
 
 // LU returns the task graph of a column-based dense LU decomposition of an
 // n x n matrix: one pivot-column task per step k and one update task per
-// remaining column j > k. The graph has n + n(n-1)/2 tasks and features
-// the long chains of forks and joins the paper points to when explaining
-// LU's limited speedup (§6.2).
+// remaining column j > k. The graph has n + n(n-1)/2 tasks and n(n-1)
+// edges, and features the long chains of forks and joins the paper points
+// to when explaining LU's limited speedup (§6.2).
+//
+// Task IDs are assigned in step order: step k occupies the ID range
+// starting at k*n - k(k-1)/2, with the pivot first and the update of
+// column j at offset j-k.
 func LU(n int) *graph.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("workload: LU(%d), want n >= 1", n))
 	}
-	g := graph.New(fmt.Sprintf("lu-%d", n))
-	diag := make([]int, n)
-	// upd[k] holds the update tasks of step k, indexed by column j (j > k).
-	upd := make([]map[int]int, n)
+	v := n + n*(n-1)/2
+	e := n * (n - 1)
+	g := graph.NewWithCapacity(fmt.Sprintf("lu-%d", n), v, e)
+	// start(k): first ID of step k (pivot); upd(k, j) sits at start(k)+(j-k).
+	start := func(k int) int { return k*n - k*(k-1)/2 }
 	for k := 0; k < n; k++ {
-		diag[k] = g.AddNamedTask(fmt.Sprintf("piv%d", k), 1)
-		upd[k] = make(map[int]int)
+		g.AddTask(1) // pivot column of step k
 		for j := k + 1; j < n; j++ {
-			upd[k][j] = g.AddNamedTask(fmt.Sprintf("upd%d_%d", k, j), 1)
+			g.AddTask(1) // update of column j at step k
 		}
 	}
 	for k := 0; k < n; k++ {
+		diag := start(k)
 		for j := k + 1; j < n; j++ {
+			upd := diag + (j - k)
 			// The pivot column is needed by every update of the step.
-			g.AddEdge(diag[k], upd[k][j], 1)
+			g.AddEdge(diag, upd, 1)
 			if j == k+1 {
 				// The next pivot column is the first updated column.
-				g.AddEdge(upd[k][j], diag[k+1], 1)
+				g.AddEdge(upd, start(k+1), 1)
 			} else {
 				// Column j must be updated by step k before step k+1 touches it.
-				g.AddEdge(upd[k][j], upd[k+1][j], 1)
+				g.AddEdge(upd, start(k+1)+(j-k-1), 1)
 			}
 		}
 	}
+	checkCounts(g, v, e)
 	g.MustValidate()
 	return g
 }
 
-// LUSizeFor returns the matrix dimension n whose LU graph has at least v
-// tasks (the paper sizes every problem to roughly V = 2000 tasks).
+// LUSizeFor returns the smallest matrix dimension n whose LU graph has at
+// least v tasks (the paper sizes every problem to roughly V = 2000 tasks).
 func LUSizeFor(v int) int {
+	if v < 1 {
+		return 1
+	}
 	// V(n) = n + n(n-1)/2; solve the quadratic and round up.
 	n := int(math.Ceil((-1 + math.Sqrt(1+8*float64(v))) / 2)) // from n^2/2 ~ v
-	for n > 1 && n+n*(n-1)/2 >= v && (n-1)+(n-1)*(n-2)/2 >= v {
+	if n < 1 {
+		n = 1
+	}
+	for n > 1 && (n-1)+(n-1)*(n-2)/2 >= v {
 		n--
 	}
 	for n+n*(n-1)/2 < v {
@@ -67,17 +97,17 @@ func LUSizeFor(v int) int {
 // Laplace equation solver on an n x n grid: task (i,j) depends on (i-1,j)
 // and (i,j-1). Parallelism grows to n on the main anti-diagonal and decays
 // again, producing the saturating speedup curve of the paper's Fig. 3.
-// The graph has n*n tasks.
+// The graph has n*n tasks and 2n(n-1) edges.
 func Laplace(n int) *graph.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("workload: Laplace(%d), want n >= 1", n))
 	}
-	g := graph.New(fmt.Sprintf("laplace-%d", n))
+	v := n * n
+	e := 2 * n * (n - 1)
+	g := graph.NewWithCapacity(fmt.Sprintf("laplace-%d", n), v, e)
 	id := func(i, j int) int { return i*n + j }
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			g.AddNamedTask(fmt.Sprintf("c%d_%d", i, j), 1)
-		}
+	for i := 0; i < v; i++ {
+		g.AddTask(1)
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -89,13 +119,27 @@ func Laplace(n int) *graph.Graph {
 			}
 		}
 	}
+	checkCounts(g, v, e)
 	g.MustValidate()
 	return g
 }
 
-// LaplaceSizeFor returns the grid side n with n*n >= v tasks.
+// LaplaceSizeFor returns the smallest grid side n with n*n >= v tasks.
 func LaplaceSizeFor(v int) int {
-	return int(math.Ceil(math.Sqrt(float64(v))))
+	if v < 1 {
+		return 1
+	}
+	n := int(math.Ceil(math.Sqrt(float64(v))))
+	// Guard against floating-point drift at large v: Sqrt can land one off
+	// in either direction once v approaches 2^53, and minimality keeps the
+	// helper monotone.
+	for n > 1 && (n-1)*(n-1) >= v {
+		n--
+	}
+	for n*n < v {
+		n++
+	}
+	return n
 }
 
 // Stencil returns a one-dimensional stencil (nearest-neighbour relaxation)
@@ -103,17 +147,17 @@ func LaplaceSizeFor(v int) int {
 // depends on cells x-1, x and x+1 of step s-1 (clamped at the
 // boundaries). Width is constant across layers, which is why the paper's
 // Fig. 3 reports near-linear speedup for Stencil. The graph has
-// width*steps tasks.
+// width*steps tasks and (steps-1)*(3*width-2) edges.
 func Stencil(width, steps int) *graph.Graph {
 	if width < 1 || steps < 1 {
 		panic(fmt.Sprintf("workload: Stencil(%d, %d), want both >= 1", width, steps))
 	}
-	g := graph.New(fmt.Sprintf("stencil-%dx%d", width, steps))
+	v := width * steps
+	e := (steps - 1) * (3*width - 2)
+	g := graph.NewWithCapacity(fmt.Sprintf("stencil-%dx%d", width, steps), v, e)
 	id := func(x, s int) int { return s*width + x }
-	for s := 0; s < steps; s++ {
-		for x := 0; x < width; x++ {
-			g.AddNamedTask(fmt.Sprintf("s%d_%d", s, x), 1)
-		}
+	for i := 0; i < v; i++ {
+		g.AddTask(1)
 	}
 	for s := 1; s < steps; s++ {
 		for x := 0; x < width; x++ {
@@ -125,6 +169,7 @@ func Stencil(width, steps int) *graph.Graph {
 			}
 		}
 	}
+	checkCounts(g, v, e)
 	g.MustValidate()
 	return g
 }
@@ -145,7 +190,8 @@ func StencilSizeFor(v int) (width, steps int) {
 // transform (n must be a power of two): log2(n)+1 layers of n tasks, each
 // task of layer l+1 depending on two tasks of layer l. Like Stencil it is
 // perfectly regular; the paper groups FFT with Stencil as the
-// linear-speedup problems. The graph has n*(log2(n)+1) tasks.
+// linear-speedup problems. The graph has n*(log2(n)+1) tasks and
+// 2*n*log2(n) edges.
 func FFT(n int) *graph.Graph {
 	if n < 2 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("workload: FFT(%d), want a power of two >= 2", n))
@@ -154,12 +200,12 @@ func FFT(n int) *graph.Graph {
 	for 1<<m < n {
 		m++
 	}
-	g := graph.New(fmt.Sprintf("fft-%d", n))
+	v := n * (m + 1)
+	e := 2 * n * m
+	g := graph.NewWithCapacity(fmt.Sprintf("fft-%d", n), v, e)
 	id := func(layer, i int) int { return layer*n + i }
-	for layer := 0; layer <= m; layer++ {
-		for i := 0; i < n; i++ {
-			g.AddNamedTask(fmt.Sprintf("f%d_%d", layer, i), 1)
-		}
+	for i := 0; i < v; i++ {
+		g.AddTask(1)
 	}
 	for layer := 0; layer < m; layer++ {
 		span := n >> (layer + 1) // butterfly partner distance at this stage
@@ -168,6 +214,7 @@ func FFT(n int) *graph.Graph {
 			g.AddEdge(id(layer, i^span), id(layer+1, i), 1)
 		}
 	}
+	checkCounts(g, v, e)
 	g.MustValidate()
 	return g
 }

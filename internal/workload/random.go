@@ -12,17 +12,22 @@ import (
 // layer l independently with probability p, plus one guaranteed edge so no
 // spurious entry tasks appear mid-graph. Used heavily by the property
 // tests because it covers both very serial (p high) and very parallel
-// (p low) regimes.
+// (p low) regimes. The task count is exact; edge storage is pre-sized to
+// the expectation (the realized count is random, so a slight overshoot may
+// trigger one final append growth).
 func LayeredRandom(rng *rand.Rand, layers, width int, p float64) *graph.Graph {
 	if layers < 1 || width < 1 {
 		panic(fmt.Sprintf("workload: LayeredRandom(%d, %d)", layers, width))
 	}
-	g := graph.New(fmt.Sprintf("layered-%dx%d", layers, width))
+	v := layers * width
+	// Expected edges: p per candidate pair, plus an allowance for the
+	// guaranteed-connectivity fallbacks (all of them in the worst p ~ 0
+	// case, none when p is large).
+	expected := int(p*float64(layers-1)*float64(width)*float64(width)) + (layers-1)*width/8 + 1
+	g := graph.NewWithCapacity(fmt.Sprintf("layered-%dx%d", layers, width), v, expected)
 	id := func(l, i int) int { return l*width + i }
-	for l := 0; l < layers; l++ {
-		for i := 0; i < width; i++ {
-			g.AddTask(1)
-		}
+	for i := 0; i < v; i++ {
+		g.AddTask(1)
 	}
 	for l := 1; l < layers; l++ {
 		for i := 0; i < width; i++ {
@@ -44,12 +49,14 @@ func LayeredRandom(rng *rand.Rand, layers, width int, p float64) *graph.Graph {
 
 // GNPDag returns a random DAG on n tasks where each forward pair (i, j)
 // with i < j is an edge independently with probability p — the classic
-// G(n, p) model restricted to one topological order.
+// G(n, p) model restricted to one topological order. Edge storage is
+// pre-sized to the expectation p*C(n,2).
 func GNPDag(rng *rand.Rand, n int, p float64) *graph.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("workload: GNPDag(%d)", n))
 	}
-	g := graph.New(fmt.Sprintf("gnp-%d", n))
+	expected := int(p*float64(n)*float64(n-1)/2) + 1
+	g := graph.NewWithCapacity(fmt.Sprintf("gnp-%d", n), n, expected)
 	for i := 0; i < n; i++ {
 		g.AddTask(1)
 	}
@@ -64,13 +71,26 @@ func GNPDag(rng *rand.Rand, n int, p float64) *graph.Graph {
 	return g
 }
 
+// treeSize returns the node count of a complete tree with the given depth
+// and fan-out: 1 + fan + fan^2 + ... + fan^(depth-1).
+func treeSize(depth, fan int) int {
+	v := 1
+	level := 1
+	for d := 1; d < depth; d++ {
+		level *= fan
+		v += level
+	}
+	return v
+}
+
 // OutTree returns a complete out-tree (fork tree) of the given depth and
 // fan-out: a root spawning fan children per node, depth levels deep.
 func OutTree(depth, fan int) *graph.Graph {
 	if depth < 1 || fan < 1 {
 		panic(fmt.Sprintf("workload: OutTree(%d, %d)", depth, fan))
 	}
-	g := graph.New(fmt.Sprintf("outtree-%dx%d", depth, fan))
+	v := treeSize(depth, fan)
+	g := graph.NewWithCapacity(fmt.Sprintf("outtree-%dx%d", depth, fan), v, v-1)
 	var grow func(parent, level int)
 	grow = func(parent, level int) {
 		if level >= depth {
@@ -84,6 +104,7 @@ func OutTree(depth, fan int) *graph.Graph {
 	}
 	root := g.AddTask(1)
 	grow(root, 1)
+	checkCounts(g, v, v-1)
 	g.MustValidate()
 	return g
 }
@@ -93,39 +114,42 @@ func OutTree(depth, fan int) *graph.Graph {
 // where the paper reports FLB trailing MCP slightly (§6.2).
 func InTree(depth, fan int) *graph.Graph {
 	out := OutTree(depth, fan)
-	g := graph.New(fmt.Sprintf("intree-%dx%d", depth, fan))
-	for i := 0; i < out.NumTasks(); i++ {
+	v, e := out.NumTasks(), out.NumEdges()
+	g := graph.NewWithCapacity(fmt.Sprintf("intree-%dx%d", depth, fan), v, e)
+	for i := 0; i < v; i++ {
 		g.AddTask(1)
 	}
-	for i := 0; i < out.NumEdges(); i++ {
-		e := out.Edge(i)
-		g.AddEdge(e.To, e.From, 1) // reverse every edge
+	for i := 0; i < e; i++ {
+		ed := out.Edge(i)
+		g.AddEdge(ed.To, ed.From, 1) // reverse every edge
 	}
 	g.MustValidate()
 	return g
 }
 
 // ForkJoin returns `stages` sequential fork-join stages of the given
-// width: fork task -> width parallel tasks -> join task, chained.
+// width: fork task -> width parallel tasks -> join task, chained. The
+// graph has 1 + stages*(width+1) tasks and 2*stages*width edges.
 func ForkJoin(stages, width int) *graph.Graph {
 	if stages < 1 || width < 1 {
 		panic(fmt.Sprintf("workload: ForkJoin(%d, %d)", stages, width))
 	}
-	g := graph.New(fmt.Sprintf("forkjoin-%dx%d", stages, width))
-	prevJoin := g.AddNamedTask("fork0", 1)
+	v := 1 + stages*(width+1)
+	e := 2 * stages * width
+	g := graph.NewWithCapacity(fmt.Sprintf("forkjoin-%dx%d", stages, width), v, e)
+	prevJoin := g.AddTask(1)
 	for s := 0; s < stages; s++ {
-		join := -1
-		mids := make([]int, width)
-		for i := range mids {
-			mids[i] = g.AddNamedTask(fmt.Sprintf("w%d_%d", s, i), 1)
-			g.AddEdge(prevJoin, mids[i], 1)
+		firstMid := prevJoin + 1
+		for i := 0; i < width; i++ {
+			g.AddEdge(prevJoin, g.AddTask(1), 1)
 		}
-		join = g.AddNamedTask(fmt.Sprintf("join%d", s), 1)
-		for _, m := range mids {
+		join := g.AddTask(1)
+		for m := firstMid; m < firstMid+width; m++ {
 			g.AddEdge(m, join, 1)
 		}
 		prevJoin = join
 	}
+	checkCounts(g, v, e)
 	g.MustValidate()
 	return g
 }
@@ -136,7 +160,7 @@ func Chain(n int) *graph.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("workload: Chain(%d)", n))
 	}
-	g := graph.New(fmt.Sprintf("chain-%d", n))
+	g := graph.NewWithCapacity(fmt.Sprintf("chain-%d", n), n, n-1)
 	for i := 0; i < n; i++ {
 		g.AddTask(1)
 		if i > 0 {
@@ -153,7 +177,7 @@ func Independent(n int) *graph.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("workload: Independent(%d)", n))
 	}
-	g := graph.New(fmt.Sprintf("independent-%d", n))
+	g := graph.NewWithCapacity(fmt.Sprintf("independent-%d", n), n, 0)
 	for i := 0; i < n; i++ {
 		g.AddTask(1)
 	}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The *SizeFor helpers size a family's structural parameter so the graph
+// reaches at least targetV tasks. These property tests pin the three
+// contracts the scale sweep depends on: minimality (the returned parameter
+// is the smallest that reaches the target, which bounds overshoot),
+// monotonicity (a larger target never yields a smaller parameter), and
+// that Instance actually lands within each family's structural tolerance
+// of the target for V up to 10^6.
+
+// Closed-form task counts per family, mirrored from the generators (and
+// pinned against them by TestSizeForCountsMatchGenerators).
+func luCount(n int) int      { return n + n*(n-1)/2 }
+func laplaceCount(n int) int { return n * n }
+func stencilCount(w, s int) int {
+	return w * s
+}
+func fftCount(n int) int {
+	m := 0
+	for 1<<m < n {
+		m++
+	}
+	return n * (m + 1)
+}
+func choleskyCount(n int) int {
+	v, _ := choleskySize(n)
+	return v
+}
+
+func TestSizeForCountsMatchGenerators(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		if got := LU(n).NumTasks(); got != luCount(n) {
+			t.Errorf("LU(%d) = %d tasks, closed form %d", n, got, luCount(n))
+		}
+		if got := Laplace(n).NumTasks(); got != laplaceCount(n) {
+			t.Errorf("Laplace(%d) = %d tasks, closed form %d", n, got, laplaceCount(n))
+		}
+		if got := Cholesky(n).NumTasks(); got != choleskyCount(n) {
+			t.Errorf("Cholesky(%d) = %d tasks, closed form %d", n, got, choleskyCount(n))
+		}
+		if got := Stencil(n, n+1).NumTasks(); got != stencilCount(n, n+1) {
+			t.Errorf("Stencil(%d,%d) = %d tasks, closed form %d", n, n+1, got, stencilCount(n, n+1))
+		}
+	}
+	for n := 2; n <= 256; n *= 2 {
+		if got := FFT(n).NumTasks(); got != fftCount(n) {
+			t.Errorf("FFT(%d) = %d tasks, closed form %d", n, got, fftCount(n))
+		}
+	}
+}
+
+// sizeForTargets is the test ladder: exact powers, off-by-one neighbours
+// (where rounding drift hides), and a band of random targets up to 10^6.
+func sizeForTargets() []int {
+	vs := []int{1, 2, 3, 5, 10, 39, 40, 41, 99, 100, 101, 999, 1000, 1001,
+		1999, 2000, 2001, 99999, 100000, 100001, 999999, 1000000}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		vs = append(vs, 1+rng.Intn(1000000))
+	}
+	return vs
+}
+
+func TestSizeForMinimal(t *testing.T) {
+	for _, v := range sizeForTargets() {
+		if n := LUSizeFor(v); luCount(n) < v || (n > 1 && luCount(n-1) >= v) {
+			t.Errorf("LUSizeFor(%d) = %d not minimal-sufficient (V(n)=%d, V(n-1)=%d)",
+				v, n, luCount(n), luCount(n-1))
+		}
+		if n := LaplaceSizeFor(v); laplaceCount(n) < v || (n > 1 && laplaceCount(n-1) >= v) {
+			t.Errorf("LaplaceSizeFor(%d) = %d not minimal-sufficient", v, n)
+		}
+		if w, s := StencilSizeFor(v); stencilCount(w, s) < v || (s > 1 && stencilCount(w, s-1) >= v) {
+			t.Errorf("StencilSizeFor(%d) = (%d,%d) not minimal-sufficient", v, w, s)
+		}
+		if n := FFTSizeFor(v); fftCount(n) < v || (n > 2 && fftCount(n/2) >= v) {
+			t.Errorf("FFTSizeFor(%d) = %d not minimal-sufficient", v, n)
+		}
+		if n := CholeskySizeFor(v); choleskyCount(n) < v || (n > 1 && choleskyCount(n-1) >= v) {
+			t.Errorf("CholeskySizeFor(%d) = %d not minimal-sufficient", v, n)
+		}
+	}
+}
+
+func TestSizeForMonotone(t *testing.T) {
+	vs := sizeForTargets()
+	// Dense sweep at the low end where the clamps live, including
+	// non-positive targets, which must behave like v = 1.
+	for v := -2; v <= 300; v++ {
+		vs = append(vs, v)
+	}
+	type point struct {
+		v                             int
+		lu, laplace, steps, fft, chol int
+	}
+	var prev *point
+	// Monotonicity is over increasing v, so walk a sorted copy.
+	sorted := append([]int(nil), vs...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for _, v := range sorted {
+		_, steps := StencilSizeFor(v)
+		cur := point{v: v, lu: LUSizeFor(v), laplace: LaplaceSizeFor(v),
+			steps: steps, fft: FFTSizeFor(v), chol: CholeskySizeFor(v)}
+		if cur.lu < 1 || cur.laplace < 1 || cur.steps < 1 || cur.fft < 2 || cur.chol < 1 {
+			t.Fatalf("SizeFor(%d) returned an invalid generator parameter: %+v", v, cur)
+		}
+		if prev != nil {
+			if cur.lu < prev.lu || cur.laplace < prev.laplace || cur.steps < prev.steps ||
+				cur.fft < prev.fft || cur.chol < prev.chol {
+				t.Fatalf("SizeFor not monotone between v=%d (%+v) and v=%d (%+v)",
+					prev.v, *prev, cur.v, cur)
+			}
+		}
+		prev = &cur
+	}
+}
+
+// TestInstanceLandsNearTarget checks the end-to-end contract: an Instance
+// asked for targetV tasks delivers at least targetV and overshoots by no
+// more than the family's structural granularity. FFT can only double its
+// point count, so one extra butterfly layer bounds it around 2.2x; every
+// other family's parameter step shrinks relative to V as V grows, so 1.5x
+// covers them from 1000 tasks up.
+func TestInstanceLandsNearTarget(t *testing.T) {
+	targets := []int{1000, 10000, 100000}
+	if !testing.Short() {
+		targets = append(targets, 1000000)
+	}
+	tolerance := map[string]float64{
+		"lu": 1.5, "laplace": 1.5, "stencil": 1.5,
+		"cholesky": 1.5, "trisolve": 1.5, "fft": 2.3,
+	}
+	for _, fam := range Families() {
+		for _, v := range targets {
+			g, err := Instance(fam.Name, v, 0.5, nil, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := g.NumTasks()
+			if got < v {
+				t.Errorf("Instance(%s, %d) undershot: %d tasks", fam.Name, v, got)
+			}
+			if max := int(tolerance[fam.Name] * float64(v)); got > max {
+				t.Errorf("Instance(%s, %d) overshot tolerance: %d tasks (max %d)",
+					fam.Name, v, got, max)
+			}
+		}
+	}
+}
+
+func TestSizeForClamps(t *testing.T) {
+	for _, v := range []int{-10, -1, 0, 1} {
+		if n := LUSizeFor(v); n != 1 {
+			t.Errorf("LUSizeFor(%d) = %d, want 1", v, n)
+		}
+		if n := LaplaceSizeFor(v); n != 1 {
+			t.Errorf("LaplaceSizeFor(%d) = %d, want 1", v, n)
+		}
+		if _, s := StencilSizeFor(v); s != 1 {
+			t.Errorf("StencilSizeFor(%d) steps = %d, want 1", v, s)
+		}
+		if n := FFTSizeFor(v); n != 2 {
+			t.Errorf("FFTSizeFor(%d) = %d, want 2", v, n)
+		}
+		if n := CholeskySizeFor(v); n != 1 {
+			t.Errorf("CholeskySizeFor(%d) = %d, want 1", v, n)
+		}
+		// The clamped parameters must generate without panicking.
+		for _, fam := range Families() {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("family %s panicked for target %d: %v", fam.Name, v, r)
+					}
+				}()
+				fam.Generate(v)
+			}()
+		}
+	}
+}
+
+func ExampleInstance() {
+	g, _ := Instance("lu", 2000, 0.5, nil, 1)
+	fmt.Println(g.NumTasks() >= 2000)
+	// Output: true
+}

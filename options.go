@@ -193,6 +193,12 @@ func WithWorkers(n int) Option {
 // once ctx is done: running jobs complete, every undispatched job fails
 // with ctx.Err(), and the batch error keeps the lowest-failing-index
 // contract (see par.Engine.EachCtx).
+//
+// Run's FLB path (cached or not) is cooperatively cancelable too: the
+// scheduling loop polls ctx every 4096 placements and aborts with an
+// error wrapping ctx.Err() — here a done context always aborts, deadline
+// or not, because a partial schedule is useless. Registry algorithms
+// selected by WithAlgorithm ignore ctx.
 func WithContext(ctx context.Context) Option {
 	return func(o *Options) { o.ctx = ctx }
 }
@@ -236,7 +242,7 @@ func runOptions(g *Graph, o *Options) (*Schedule, error) {
 	sys := o.system()
 	if o.algorithm == "" || strings.EqualFold(o.algorithm, "flb") {
 		if o.cache == nil {
-			return core.FLB{Sink: o.observer}.Schedule(g, sys)
+			return runFLB(g, sys, o)
 		}
 		return runCached(g, sys, o)
 	}
@@ -245,6 +251,19 @@ func runOptions(g *Graph, o *Options) (*Schedule, error) {
 		return nil, err
 	}
 	return a.Schedule(g, sys)
+}
+
+// runFLB is the uncached FLB dispatch of Run. A WithContext ctx makes the
+// run cooperatively cancelable: the core loop polls it every 4096
+// placements and aborts with a wrapped ctx.Err(), so a Run over a
+// million-task graph stops within a fraction of its schedule time instead
+// of completing doomed work.
+func runFLB(g *Graph, sys System, o *Options) (*Schedule, error) {
+	f := core.FLB{Sink: o.observer}
+	if o.ctx != nil {
+		return f.ScheduleContext(o.ctx, g, sys)
+	}
+	return f.Schedule(g, sys)
 }
 
 // runCached is the FLB path of Run behind WithCache: look the problem
@@ -262,7 +281,7 @@ func runCached(g *Graph, sys System, o *Options) (*Schedule, error) {
 			return s, nil
 		}
 	}
-	s, err := core.FLB{Sink: o.observer}.Schedule(g, sys)
+	s, err := runFLB(g, sys, o)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -363,4 +364,31 @@ func TestNewSystemOptions(t *testing.T) {
 	if sys2.Speed(0) != 2 {
 		t.Errorf("WithSpeeds aliased the caller's slice: speed[0] = %g", sys2.Speed(0))
 	}
+}
+
+// TestRunWithContextCanceled pins WithContext on the scheduling path: a
+// done context aborts Run's FLB dispatch — cached or not — with an error
+// wrapping ctx.Err(), while a live context changes nothing.
+func TestRunWithContextCanceled(t *testing.T) {
+	g := flb.LU(30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if s, err := flb.Run(g, flb.WithContext(ctx)); s != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run(canceled ctx) = (%v, %v), want (nil, context.Canceled)", s, err)
+	}
+	cache := flb.NewScheduleCache(4)
+	if s, err := flb.Run(g, flb.WithContext(ctx), flb.WithCache(cache)); s != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cached Run(canceled ctx) = (%v, %v), want (nil, context.Canceled)", s, err)
+	}
+
+	plain, err := flb.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := flb.Run(g, flb.WithContext(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, plain, live)
 }
